@@ -1,0 +1,71 @@
+// Ablation: what the registration cache buys (DESIGN.md Section 5 /
+// Section IV of the paper: "memory registration is a costly affair with
+// RDMA-enabled interconnects, provisioning buffer re-use is extremely
+// helpful").
+//
+// Compares, per buffer size: cold ibv_reg_mr cost, registration-cache hit
+// cost, and the bset bounce-copy alternative (memcpy into a pre-registered
+// slot).
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "net/fabric.hpp"
+
+using namespace hykv;
+
+int main() {
+  sim::init_precise_timing();
+  bench::print_banner("Ablation: registration cache vs cold registration");
+
+  net::Fabric fabric(FabricProfile::fdr_rdma());
+  auto endpoint = fabric.create_endpoint("reg-bench");
+
+  std::printf("  %10s %14s %14s %16s\n", "size", "cold reg us",
+              "cached reg us", "bounce copy us");
+  for (const std::size_t size :
+       {std::size_t{4} << 10, std::size_t{64} << 10, std::size_t{256} << 10,
+        std::size_t{1} << 20}) {
+    // Cold: a brand-new buffer each time.
+    sim::Nanos cold_total{0};
+    constexpr int kIters = 8;
+    std::vector<std::unique_ptr<char[]>> keep_alive;
+    for (int i = 0; i < kIters; ++i) {
+      keep_alive.push_back(std::make_unique<char[]>(size));
+      const auto t0 = sim::now();
+      (void)endpoint->register_memory(keep_alive.back().get(), size);
+      cold_total += sim::now() - t0;
+    }
+
+    // Cached: the same buffer re-registered.
+    auto reused = std::make_unique<char[]>(size);
+    (void)endpoint->register_memory(reused.get(), size);
+    sim::Nanos cached_total{0};
+    for (int i = 0; i < kIters; ++i) {
+      const auto t0 = sim::now();
+      (void)endpoint->register_memory(reused.get(), size);
+      cached_total += sim::now() - t0;
+    }
+
+    // Bounce: memcpy into an already-registered slot (the bset path).
+    auto slot = std::make_unique<char[]>(size);
+    (void)endpoint->register_memory(slot.get(), size);
+    auto source = std::make_unique<char[]>(size);
+    sim::Nanos copy_total{0};
+    for (int i = 0; i < kIters; ++i) {
+      const auto t0 = sim::now();
+      std::memcpy(slot.get(), source.get(), size);
+      copy_total += sim::now() - t0;
+    }
+
+    std::printf("  %9zuK %14.2f %14.2f %16.2f\n", size >> 10,
+                static_cast<double>(cold_total.count()) / kIters / 1e3,
+                static_cast<double>(cached_total.count()) / kIters / 1e3,
+                static_cast<double>(copy_total.count()) / kIters / 1e3);
+  }
+  std::printf("\n(cold registration would dominate per-op cost; the cache "
+              "and the bounce pool are both orders of magnitude cheaper)\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+#include "client/backend_db.hpp"
+
+#include "common/sim_time.hpp"
+
+namespace hykv::client {
+
+void BackendDb::put(std::string_view key, std::vector<char> value) {
+  const std::scoped_lock lock(mu_);
+  data_[std::string(key)] = std::move(value);
+}
+
+std::optional<std::vector<char>> BackendDb::fetch(std::string_view key) {
+  std::optional<std::vector<char>> result;
+  {
+    const std::scoped_lock lock(mu_);
+    ++fetches_;
+    auto it = data_.find(std::string(key));
+    if (it != data_.end()) result = it->second;
+  }
+  if (!result.has_value() && resolver_) result = resolver_(key);
+  // Pay the penalty outside the lock so concurrent clients queue on the
+  // database, not on our bookkeeping.
+  sim::advance(profile_.access_time(result ? result->size() : 0));
+  return result;
+}
+
+std::uint64_t BackendDb::fetches() const {
+  const std::scoped_lock lock(mu_);
+  return fetches_;
+}
+
+}  // namespace hykv::client

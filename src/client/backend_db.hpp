@@ -1,0 +1,49 @@
+// Model of the backend data store behind the caching tier (the database the
+// paper's in-memory designs fall back to on a cache miss, at a < 2 ms
+// penalty). Thread-safe.
+//
+// Data resolution order on fetch(): the explicit put() store first, then the
+// optional resolver callback (lets benches serve a deterministic synthetic
+// dataset without materialising it). Every fetch pays the modelled access
+// penalty regardless of source.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/profiles.hpp"
+
+namespace hykv::client {
+
+class BackendDb {
+ public:
+  using Resolver =
+      std::function<std::optional<std::vector<char>>(std::string_view key)>;
+
+  explicit BackendDb(BackendDbProfile profile = {}, Resolver resolver = nullptr)
+      : profile_(profile), resolver_(std::move(resolver)) {}
+
+  /// Stores authoritative data (no penalty: writes to the backend happen on
+  /// a path the paper does not measure).
+  void put(std::string_view key, std::vector<char> value);
+
+  /// Fetches with the modelled miss penalty applied.
+  std::optional<std::vector<char>> fetch(std::string_view key);
+
+  [[nodiscard]] std::uint64_t fetches() const;
+  [[nodiscard]] const BackendDbProfile& profile() const noexcept { return profile_; }
+
+ private:
+  BackendDbProfile profile_;
+  Resolver resolver_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::vector<char>> data_;
+  std::uint64_t fetches_ = 0;
+};
+
+}  // namespace hykv::client

@@ -1,0 +1,659 @@
+#include "client/client.hpp"
+
+#include <cassert>
+#include <chrono>
+#include <cstring>
+
+#include "common/logging.hpp"
+#include "common/sim_time.hpp"
+#include "server/protocol.hpp"
+
+namespace hykv::client {
+
+using server::Opcode;
+
+Client::Client(net::Fabric& fabric, ClientConfig config, BackendDb* backend)
+    : fabric_(fabric),
+      config_(std::move(config)),
+      backend_(backend),
+      endpoint_(fabric_.create_endpoint(config_.name)),
+      ring_(config_.servers),
+      scratch_(config_.bounce_slot_bytes) {
+  assert(!config_.use_backend_on_miss || backend_ != nullptr);
+  // Pre-register the bounce pool: the cold ibv_reg_mr cost is paid once at
+  // startup, which is exactly why bset can afford buffer-reuse semantics.
+  slots_.reserve(config_.bounce_slots);
+  for (std::size_t i = 0; i < config_.bounce_slots; ++i) {
+    slots_.push_back(std::make_unique<char[]>(config_.bounce_slot_bytes));
+    endpoint_->register_memory(slots_.back().get(), config_.bounce_slot_bytes);
+    free_slots_.push(static_cast<int>(i));
+  }
+  endpoint_->register_memory(scratch_.data(), scratch_.size());
+  tx_thread_ = std::thread([this] { tx_main(); });
+  rx_thread_ = std::thread([this] { rx_main(); });
+}
+
+Client::~Client() {
+  {
+    const std::scoped_lock lock(pending_mu_);
+    closed_ = true;
+  }
+  tx_queue_.close();   // TX drains remaining jobs, then exits
+  if (tx_thread_.joinable()) tx_thread_.join();
+  endpoint_->close();  // unblocks RX
+  if (rx_thread_.joinable()) rx_thread_.join();
+  complete_all_pending(StatusCode::kShutdown);
+  free_slots_.close();
+}
+
+void Client::complete_all_pending(StatusCode status) {
+  std::unordered_map<std::uint64_t, Pending> orphans;
+  {
+    const std::scoped_lock lock(pending_mu_);
+    orphans.swap(pending_);
+  }
+  for (auto& [wr_id, pend] : orphans) {
+    if (pend.slot >= 0) free_slots_.push(pend.slot);
+    signal_completion(*pend.req, status, 0, 0);
+  }
+}
+
+void Client::tx_main() {
+  while (auto job = tx_queue_.pop()) {
+    // Model the engine-side registration of the source/destination buffer
+    // (registration cache makes repeats nearly free).
+    if (!job->value.empty()) {
+      endpoint_->register_memory(const_cast<char*>(job->value.data()),
+                                 job->value.size());
+    }
+    std::vector<char> payload;
+    switch (job->opcode) {
+      case Opcode::kOpSet: {
+        // The value span is read *here*, on the engine thread -- this is the
+        // zero-copy hazard window the iset documentation warns about.
+        payload = server::encode_set(server::SetRequest{
+            .key = job->key,
+            .value = job->value,
+            .flags = job->flags,
+            .expiration = job->expiration,
+        });
+        break;
+      }
+      case Opcode::kOpGet:
+      case Opcode::kOpDelete:
+        payload = server::encode_key_request(job->key);
+        break;
+      case Opcode::kOpAdd:
+      case Opcode::kOpReplace:
+      case Opcode::kOpAppend:
+      case Opcode::kOpPrepend:
+        payload = server::encode_set(server::SetRequest{
+            .key = job->key,
+            .value = job->value,
+            .flags = job->flags,
+            .expiration = job->expiration,
+        });
+        break;
+      case Opcode::kOpIncr:
+      case Opcode::kOpDecr:
+        payload = server::encode_counter(
+            job->key, static_cast<std::uint64_t>(job->expiration));
+        break;
+      case Opcode::kOpTouch:
+        payload = server::encode_touch(job->key, job->expiration);
+        break;
+      case Opcode::kOpGets:
+        payload = server::encode_key_request(job->key);
+        break;
+      case Opcode::kOpCas:
+        payload = server::encode_cas(server::CasRequest{
+            .key = job->key,
+            .value = job->value,
+            .flags = job->flags,
+            .expiration = job->expiration,
+            .cas = job->cas_token,
+        });
+        break;
+      case Opcode::kOpFlushAll:
+      case Opcode::kOpStats:
+        break;  // empty payload
+      default:
+        break;
+    }
+    endpoint_->send(job->server, job->opcode, job->wr_id, payload);
+    HYKV_DEBUG("client %llu tx wr=%llu op=%u to=%llu n=%zu",
+               static_cast<unsigned long long>(endpoint_->id()),
+               static_cast<unsigned long long>(job->wr_id), job->opcode,
+               static_cast<unsigned long long>(job->server), payload.size());
+    // NOTE: the response may already be in flight (or even processed) by the
+    // time send() returns -- the request may only be touched via the pending
+    // map, never via job->req.
+    signal_sent(job->wr_id);
+  }
+}
+
+void Client::rx_main() {
+  while (true) {
+    auto msg = endpoint_->recv();
+    if (!msg.ok()) break;
+    if (msg.value().opcode != Opcode::kOpResponse) continue;
+    const auto resp = server::decode_response(msg.value().payload);
+
+    Pending pend;
+    {
+      const std::scoped_lock lock(pending_mu_);
+      auto it = pending_.find(msg.value().wr_id);
+      if (it == pending_.end()) {
+        HYKV_WARN("client %llu: stale response wr=%llu",
+                  static_cast<unsigned long long>(endpoint_->id()),
+                  static_cast<unsigned long long>(msg.value().wr_id));
+        continue;
+      }
+      pend = it->second;
+      pending_.erase(it);
+    }
+
+    StatusCode status = resp.has_value() ? resp->status : StatusCode::kServerError;
+    std::uint32_t flags = resp.has_value() ? resp->flags : 0;
+    std::size_t value_len = 0;
+    if (pend.is_get && resp.has_value() && ok(status)) {
+      value_len = resp->value.size();
+      if (value_len <= pend.req->dest_.size()) {
+        // The engine places the fetched value straight into the user's
+        // buffer (the RDMA-write-into-destination step).
+        std::memcpy(pend.req->dest_.data(), resp->value.data(), value_len);
+      } else {
+        status = StatusCode::kBufferTooSmall;
+      }
+    }
+    if (pend.is_get) {
+      const std::scoped_lock lock(metrics_mu_);
+      if (ok(status)) {
+        ++counters_.hits;
+      } else if (status == StatusCode::kNotFound) {
+        ++counters_.misses;
+      }
+    }
+    if (pend.slot >= 0) free_slots_.push(pend.slot);
+    HYKV_DEBUG("client %llu rx wr=%llu status=%u",
+               static_cast<unsigned long long>(endpoint_->id()),
+               static_cast<unsigned long long>(msg.value().wr_id),
+               static_cast<unsigned>(status));
+    signal_completion(*pend.req, status, flags, value_len);
+  }
+}
+
+void Client::signal_completion(Request& req, StatusCode status,
+                               std::uint32_t flags, std::size_t value_len) {
+  req.publish_completion(status, flags, value_len);
+  // After this point `req` may be gone: the lock-unlock pairs with a waiter
+  // between its predicate check and its sleep (lost-wakeup prevention); the
+  // notify touches only the client-owned cv.
+  { const std::scoped_lock lock(completion_mu_); }
+  completion_cv_.notify_all();
+}
+
+void Client::signal_sent(std::uint64_t wr_id) {
+  {
+    const std::scoped_lock lock(pending_mu_);
+    auto it = pending_.find(wr_id);
+    // Entry gone => the request already completed (done_ implies sent);
+    // its owner may have destroyed it, so it must not be dereferenced.
+    if (it == pending_.end()) return;
+    it->second.req->sent_.store(true, std::memory_order_release);
+  }
+  { const std::scoped_lock lock(completion_mu_); }
+  completion_cv_.notify_all();
+}
+
+StatusCode Client::issue(TxJob job, Request& req, int slot, bool is_get,
+                         std::span<char> dest) {
+  req.reset(dest);
+  std::uint64_t wr_id = 0;
+  {
+    const std::scoped_lock lock(pending_mu_);
+    if (closed_) return StatusCode::kShutdown;
+    wr_id = wr_id_seq_++;
+    pending_.emplace(wr_id, Pending{.req = &req, .slot = slot, .is_get = is_get});
+  }
+  job.wr_id = wr_id;
+  req.wr_id_ = wr_id;
+  job.req = &req;
+  if (!tx_queue_.push(std::move(job))) {
+    const std::scoped_lock lock(pending_mu_);
+    pending_.erase(wr_id);
+    return StatusCode::kShutdown;
+  }
+  return StatusCode::kOk;
+}
+
+StatusCode Client::iset(std::string_view key, std::span<const char> value,
+                        std::uint32_t flags, std::int64_t expiration,
+                        Request& req) {
+  if (key.empty()) return StatusCode::kInvalidArgument;
+  TxJob job;
+  job.opcode = Opcode::kOpSet;
+  job.server = ring_.select(key);
+  job.key = std::string(key);
+  job.value = value;  // zero copy: user must not touch until completion
+  job.flags = flags;
+  job.expiration = expiration;
+  {
+    const std::scoped_lock lock(metrics_mu_);
+    ++counters_.nonblocking_issued;
+  }
+  return issue(std::move(job), req, /*slot=*/-1, /*is_get=*/false, {});
+}
+
+StatusCode Client::bset(std::string_view key, std::span<const char> value,
+                        std::uint32_t flags, std::int64_t expiration,
+                        Request& req) {
+  if (key.empty()) return StatusCode::kInvalidArgument;
+  TxJob job;
+  job.opcode = Opcode::kOpSet;
+  job.server = ring_.select(key);
+  job.key = std::string(key);
+  job.flags = flags;
+  job.expiration = expiration;
+
+  int slot = -1;
+  if (value.size() <= config_.bounce_slot_bytes) {
+    // Acquire a pre-registered bounce slot; blocks while the pool is fully
+    // in flight (this is the bounded-outstanding-writes backpressure).
+    const auto acquired = free_slots_.pop();
+    if (!acquired.has_value()) return StatusCode::kShutdown;
+    slot = *acquired;
+    char* buffer = slots_[static_cast<std::size_t>(slot)].get();
+    std::memcpy(buffer, value.data(), value.size());
+    job.value = std::span<const char>(buffer, value.size());
+  } else {
+    // Oversized for the pool: fall back to a private copy (cold
+    // registration will be paid by the engine).
+    job.owned_value.assign(value.begin(), value.end());
+    job.value = job.owned_value;
+  }
+  {
+    const std::scoped_lock lock(metrics_mu_);
+    ++counters_.nonblocking_issued;
+  }
+  const StatusCode code = issue(std::move(job), req, slot, /*is_get=*/false, {});
+  if (!ok(code)) {
+    if (slot >= 0) free_slots_.push(slot);
+    return code;
+  }
+  // "Waits for the engine to communicate that it has sent out the data."
+  park_until([&req] { return req.sent(); });
+  return StatusCode::kOk;
+}
+
+StatusCode Client::iget(std::string_view key, std::span<char> dest, Request& req) {
+  if (key.empty()) return StatusCode::kInvalidArgument;
+  TxJob job;
+  job.opcode = Opcode::kOpGet;
+  job.server = ring_.select(key);
+  job.key = std::string(key);
+  // Destination registration is modelled via the value span (engine-side).
+  job.value = std::span<const char>(dest.data(), dest.size());
+  {
+    const std::scoped_lock lock(metrics_mu_);
+    ++counters_.nonblocking_issued;
+  }
+  return issue(std::move(job), req, /*slot=*/-1, /*is_get=*/true, dest);
+}
+
+StatusCode Client::bget(std::string_view key, std::span<char> dest, Request& req) {
+  const StatusCode code = iget(key, dest, req);
+  if (!ok(code)) return code;
+  // Key buffer reusable once the header has left the engine.
+  park_until([&req] { return req.sent(); });
+  return StatusCode::kOk;
+}
+
+void Client::wait(Request& req) {
+  const auto start = std::chrono::steady_clock::now();
+  park_until([&req] { return req.done(); });
+  const std::scoped_lock lock(metrics_mu_);
+  stages_.add(Stage::kClientWait, std::chrono::steady_clock::now() - start);
+  stages_.add_ops();
+}
+
+StatusCode Client::set(std::string_view key, std::span<const char> value,
+                       std::uint32_t flags, std::int64_t expiration) {
+  Request req;
+  const StatusCode code = bset(key, value, flags, expiration, req);
+  if (!ok(code)) return code;
+  wait(req);
+  {
+    const std::scoped_lock lock(metrics_mu_);
+    ++counters_.sets;
+  }
+  return req.status();
+}
+
+StatusCode Client::get(std::string_view key, std::vector<char>& out,
+                       std::uint32_t* flags) {
+  Request req;
+  StatusCode code = bget(key, scratch_, req);
+  if (!ok(code)) return code;
+  wait(req);
+  {
+    const std::scoped_lock lock(metrics_mu_);
+    ++counters_.gets;
+  }
+  code = req.status();
+  if (ok(code)) {
+    out.assign(scratch_.begin(),
+               scratch_.begin() + static_cast<std::ptrdiff_t>(req.value_length()));
+    if (flags != nullptr) *flags = req.flags();
+    return code;
+  }
+  if (code == StatusCode::kNotFound && config_.use_backend_on_miss) {
+    // Cache-aside miss path: hit the backend database (the paper's
+    // "Miss Penalty" stage), then re-populate the cache.
+    const auto miss_start = std::chrono::steady_clock::now();
+    auto value = backend_->fetch(key);
+    {
+      const std::scoped_lock lock(metrics_mu_);
+      stages_.add(Stage::kMissPenalty,
+                  std::chrono::steady_clock::now() - miss_start);
+      ++counters_.backend_fetches;
+    }
+    if (!value.has_value()) return StatusCode::kNotFound;
+    out = std::move(*value);
+    if (flags != nullptr) *flags = 0;
+    (void)set(key, out, 0, 0);  // best-effort repopulation
+    return StatusCode::kOk;
+  }
+  return code;
+}
+
+StatusCode Client::del(std::string_view key) {
+  if (key.empty()) return StatusCode::kInvalidArgument;
+  Request req;
+  TxJob job;
+  job.opcode = Opcode::kOpDelete;
+  job.server = ring_.select(key);
+  job.key = std::string(key);
+  const StatusCode code = issue(std::move(job), req, -1, /*is_get=*/false, {});
+  if (!ok(code)) return code;
+  wait(req);
+  {
+    const std::scoped_lock lock(metrics_mu_);
+    ++counters_.deletes;
+  }
+  return req.status();
+}
+
+StatusCode Client::add(std::string_view key, std::span<const char> value,
+                       std::uint32_t flags, std::int64_t expiration) {
+  if (key.empty()) return StatusCode::kInvalidArgument;
+  Request req;
+  TxJob job;
+  job.opcode = Opcode::kOpAdd;
+  job.server = ring_.select(key);
+  job.key = std::string(key);
+  job.owned_value.assign(value.begin(), value.end());
+  job.value = job.owned_value;
+  job.flags = flags;
+  job.expiration = expiration;
+  const StatusCode code = issue(std::move(job), req, -1, false, {});
+  if (!ok(code)) return code;
+  wait(req);
+  return req.status();
+}
+
+StatusCode Client::replace(std::string_view key, std::span<const char> value,
+                           std::uint32_t flags, std::int64_t expiration) {
+  if (key.empty()) return StatusCode::kInvalidArgument;
+  Request req;
+  TxJob job;
+  job.opcode = Opcode::kOpReplace;
+  job.server = ring_.select(key);
+  job.key = std::string(key);
+  job.owned_value.assign(value.begin(), value.end());
+  job.value = job.owned_value;
+  job.flags = flags;
+  job.expiration = expiration;
+  const StatusCode code = issue(std::move(job), req, -1, false, {});
+  if (!ok(code)) return code;
+  wait(req);
+  return req.status();
+}
+
+StatusCode Client::append(std::string_view key, std::span<const char> suffix) {
+  if (key.empty()) return StatusCode::kInvalidArgument;
+  Request req;
+  TxJob job;
+  job.opcode = Opcode::kOpAppend;
+  job.server = ring_.select(key);
+  job.key = std::string(key);
+  job.owned_value.assign(suffix.begin(), suffix.end());
+  job.value = job.owned_value;
+  const StatusCode code = issue(std::move(job), req, -1, false, {});
+  if (!ok(code)) return code;
+  wait(req);
+  return req.status();
+}
+
+StatusCode Client::prepend(std::string_view key, std::span<const char> prefix) {
+  if (key.empty()) return StatusCode::kInvalidArgument;
+  Request req;
+  TxJob job;
+  job.opcode = Opcode::kOpPrepend;
+  job.server = ring_.select(key);
+  job.key = std::string(key);
+  job.owned_value.assign(prefix.begin(), prefix.end());
+  job.value = job.owned_value;
+  const StatusCode code = issue(std::move(job), req, -1, false, {});
+  if (!ok(code)) return code;
+  wait(req);
+  return req.status();
+}
+
+namespace {
+Result<std::uint64_t> parse_counter_response(const Request& req,
+                                             std::span<const char> scratch) {
+  if (!ok(req.status())) return req.status();
+  const auto value = server::decode_counter_value(
+      std::span<const char>(scratch.data(), req.value_length()));
+  if (!value.has_value()) return StatusCode::kServerError;
+  return *value;
+}
+}  // namespace
+
+Result<std::uint64_t> Client::incr(std::string_view key, std::uint64_t delta) {
+  if (key.empty()) return StatusCode::kInvalidArgument;
+  Request req;
+  TxJob job;
+  job.opcode = Opcode::kOpIncr;
+  job.server = ring_.select(key);
+  job.key = std::string(key);
+  job.expiration = static_cast<std::int64_t>(delta);  // carried in encoding
+  const StatusCode code = issue(std::move(job), req, -1, true, scratch_);
+  if (!ok(code)) return code;
+  wait(req);
+  return parse_counter_response(req, scratch_);
+}
+
+Result<std::uint64_t> Client::decr(std::string_view key, std::uint64_t delta) {
+  if (key.empty()) return StatusCode::kInvalidArgument;
+  Request req;
+  TxJob job;
+  job.opcode = Opcode::kOpDecr;
+  job.server = ring_.select(key);
+  job.key = std::string(key);
+  job.expiration = static_cast<std::int64_t>(delta);
+  const StatusCode code = issue(std::move(job), req, -1, true, scratch_);
+  if (!ok(code)) return code;
+  wait(req);
+  return parse_counter_response(req, scratch_);
+}
+
+StatusCode Client::touch(std::string_view key, std::int64_t expiration) {
+  if (key.empty()) return StatusCode::kInvalidArgument;
+  Request req;
+  TxJob job;
+  job.opcode = Opcode::kOpTouch;
+  job.server = ring_.select(key);
+  job.key = std::string(key);
+  job.expiration = expiration;
+  const StatusCode code = issue(std::move(job), req, -1, false, {});
+  if (!ok(code)) return code;
+  wait(req);
+  return req.status();
+}
+
+StatusCode Client::flush_all() {
+  StatusCode worst = StatusCode::kOk;
+  for (const net::EndpointId server : ring_.servers()) {
+    Request req;
+    TxJob job;
+    job.opcode = Opcode::kOpFlushAll;
+    job.server = server;
+    const StatusCode code = issue(std::move(job), req, -1, false, {});
+    if (!ok(code)) return code;
+    wait(req);
+    if (!ok(req.status())) worst = req.status();
+  }
+  return worst;
+}
+
+Result<std::string> Client::stats_text(std::size_t server_index) {
+  if (server_index >= ring_.servers().size()) return StatusCode::kInvalidArgument;
+  Request req;
+  TxJob job;
+  job.opcode = Opcode::kOpStats;
+  job.server = ring_.servers()[server_index];
+  const StatusCode code = issue(std::move(job), req, -1, true, scratch_);
+  if (!ok(code)) return code;
+  wait(req);
+  if (!ok(req.status())) return req.status();
+  return std::string(scratch_.data(), req.value_length());
+}
+
+StatusCode Client::gets(std::string_view key, std::vector<char>& out,
+                        std::uint32_t* flags, std::uint64_t* cas) {
+  if (key.empty()) return StatusCode::kInvalidArgument;
+  Request req;
+  TxJob job;
+  job.opcode = Opcode::kOpGets;
+  job.server = ring_.select(key);
+  job.key = std::string(key);
+  const StatusCode code = issue(std::move(job), req, -1, true, scratch_);
+  if (!ok(code)) return code;
+  wait(req);
+  if (!ok(req.status())) return req.status();
+  if (req.value_length() < 8) return StatusCode::kServerError;
+  std::uint64_t token = 0;
+  std::memcpy(&token, scratch_.data(), 8);
+  if (cas != nullptr) *cas = token;
+  if (flags != nullptr) *flags = req.flags();
+  out.assign(scratch_.begin() + 8,
+             scratch_.begin() + static_cast<std::ptrdiff_t>(req.value_length()));
+  return StatusCode::kOk;
+}
+
+StatusCode Client::cas(std::string_view key, std::span<const char> value,
+                       std::uint64_t cas_token, std::uint32_t flags,
+                       std::int64_t expiration) {
+  if (key.empty()) return StatusCode::kInvalidArgument;
+  Request req;
+  TxJob job;
+  job.opcode = Opcode::kOpCas;
+  job.server = ring_.select(key);
+  job.key = std::string(key);
+  job.owned_value.assign(value.begin(), value.end());
+  job.value = job.owned_value;
+  job.flags = flags;
+  job.expiration = expiration;
+  // The CAS token travels in the job's wr-independent slot: reuse the
+  // encoding step below (tx_main packs it from job.cas_token).
+  job.cas_token = cas_token;
+  const StatusCode code = issue(std::move(job), req, -1, false, {});
+  if (!ok(code)) return code;
+  wait(req);
+  return req.status();
+}
+
+std::vector<std::optional<std::vector<char>>> Client::mget(
+    std::span<const std::string> keys) {
+  std::vector<std::optional<std::vector<char>>> results(keys.size());
+  if (keys.empty()) return results;
+  // One request + destination buffer per key, all in flight at once --
+  // the whole point of mget over a loop of blocking gets.
+  std::vector<std::unique_ptr<Request>> requests;
+  std::vector<std::vector<char>> dests(keys.size());
+  requests.reserve(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    requests.push_back(std::make_unique<Request>());
+    dests[i].resize(config_.bounce_slot_bytes);
+    if (keys[i].empty() ||
+        !ok(iget(keys[i], dests[i], *requests.back()))) {
+      requests.back().reset();
+    }
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (requests[i] == nullptr) continue;
+    wait(*requests[i]);
+    if (ok(requests[i]->status())) {
+      dests[i].resize(requests[i]->value_length());
+      results[i] = std::move(dests[i]);
+    }
+  }
+  return results;
+}
+
+StatusCode Client::cancel(Request& req) {
+  if (req.done()) return req.status();
+  bool removed = false;
+  {
+    const std::scoped_lock lock(pending_mu_);
+    auto it = pending_.find(req.wr_id_);
+    if (it != pending_.end() && it->second.req == &req) {
+      if (it->second.slot >= 0) free_slots_.push(it->second.slot);
+      pending_.erase(it);
+      removed = true;
+    }
+  }
+  if (removed) {
+    signal_completion(req, StatusCode::kTimedOut, 0, 0);
+    return StatusCode::kTimedOut;
+  }
+  // The progress thread is completing it right now; wait for the verdict.
+  park_until([&req] { return req.done(); });
+  return req.status();
+}
+
+StatusCode Client::wait_for(Request& req, sim::Nanos timeout) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + timeout;
+  {
+    std::unique_lock lock(completion_mu_);
+    completion_cv_.wait_until(lock, deadline, [&req] { return req.done(); });
+  }
+  {
+    const std::scoped_lock lock(metrics_mu_);
+    stages_.add(Stage::kClientWait, std::chrono::steady_clock::now() - start);
+    stages_.add_ops();
+  }
+  if (req.done()) return req.status();
+  return cancel(req);
+}
+
+StageBreakdown Client::breakdown() const {
+  const std::scoped_lock lock(metrics_mu_);
+  return stages_;
+}
+
+ClientCounters Client::counters() const {
+  const std::scoped_lock lock(metrics_mu_);
+  return counters_;
+}
+
+void Client::reset_metrics() {
+  const std::scoped_lock lock(metrics_mu_);
+  stages_.reset();
+  counters_ = ClientCounters{};
+}
+
+}  // namespace hykv::client

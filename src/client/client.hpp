@@ -1,0 +1,247 @@
+// The hykv client library -- a libmemcached work-alike with the paper's
+// non-blocking extensions (Listing 1 / Section IV):
+//
+//   blocking   : set / get / del              (memcached_set / _get)
+//   issue-only : iset / iget                  (memcached_iset / _iget)
+//   buffer-safe: bset / bget                  (memcached_bset / _bget)
+//   completion : wait / test                  (memcached_wait / _test)
+//
+// Semantics, mirrored from the paper:
+//  - iset/iget return as soon as the request is posted to the RDMA engine.
+//    The user's key/value buffers MUST NOT be touched until completion: the
+//    engine reads them asynchronously (zero copy).
+//  - bset copies the value into a pre-registered bounce buffer from a bounded
+//    pool, so the user's buffers are reusable the moment the call returns;
+//    the pool bound is what throttles write-bursts against a slow server.
+//  - bget additionally blocks until the request header has been injected.
+//  - wait/test guarantee operation completion: for Sets, the key-value pair
+//    is stored (or the failure is known); for Gets, the value has been copied
+//    into the user's destination buffer.
+//
+// Threading: one application thread may call the public API per Client
+// instance; the client runs two internal threads (TX engine and RX progress).
+// Create one Client per application thread for concurrent use (matches
+// libmemcached's non-thread-safe memcached_st).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <condition_variable>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "client/backend_db.hpp"
+#include "client/request.hpp"
+#include "client/ring.hpp"
+#include "common/queue.hpp"
+#include "common/stage.hpp"
+#include "common/sim_time.hpp"
+#include "net/fabric.hpp"
+
+namespace hykv::client {
+
+struct ClientConfig {
+  std::vector<net::EndpointId> servers;
+  std::string name = "client";
+  std::size_t bounce_slots = 16;
+  std::size_t bounce_slot_bytes = std::size_t{1} << 20;
+  /// Blocking Gets consult the backend database on a miss (cache-aside) and
+  /// re-populate the cache -- the in-memory designs' miss path.
+  bool use_backend_on_miss = false;
+};
+
+struct ClientCounters {
+  std::uint64_t sets = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t backend_fetches = 0;
+  std::uint64_t nonblocking_issued = 0;
+};
+
+class Client {
+ public:
+  /// `backend` may be nullptr when use_backend_on_miss is false; it must
+  /// outlive the client otherwise.
+  Client(net::Fabric& fabric, ClientConfig config, BackendDb* backend = nullptr);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // ---- Blocking API (memcached_set / memcached_get / memcached_delete) ----
+
+  StatusCode set(std::string_view key, std::span<const char> value,
+                 std::uint32_t flags = 0, std::int64_t expiration = 0);
+
+  /// On success `out` holds the value. On a miss with a backend configured,
+  /// fetches from the backend (kMissPenalty stage), re-populates the cache,
+  /// and returns kOk; otherwise returns kNotFound.
+  StatusCode get(std::string_view key, std::vector<char>& out,
+                 std::uint32_t* flags = nullptr);
+
+  StatusCode del(std::string_view key);
+
+  /// memcached add/replace/append/prepend (blocking). kNotStored when the
+  /// existence precondition fails.
+  StatusCode add(std::string_view key, std::span<const char> value,
+                 std::uint32_t flags = 0, std::int64_t expiration = 0);
+  StatusCode replace(std::string_view key, std::span<const char> value,
+                     std::uint32_t flags = 0, std::int64_t expiration = 0);
+  StatusCode append(std::string_view key, std::span<const char> suffix);
+  StatusCode prepend(std::string_view key, std::span<const char> prefix);
+
+  /// memcached incr/decr (blocking): returns the new counter value.
+  Result<std::uint64_t> incr(std::string_view key, std::uint64_t delta = 1);
+  Result<std::uint64_t> decr(std::string_view key, std::uint64_t delta = 1);
+
+  /// memcached touch (blocking): refreshes expiration in place.
+  StatusCode touch(std::string_view key, std::int64_t expiration);
+
+  /// memcached flush_all across every server in the ring.
+  StatusCode flush_all();
+
+  /// memcached "stats" from one server, as "name value" lines.
+  Result<std::string> stats_text(std::size_t server_index = 0);
+
+  /// memcached "gets": fetch value + CAS version token.
+  StatusCode gets(std::string_view key, std::vector<char>& out,
+                  std::uint32_t* flags, std::uint64_t* cas);
+
+  /// memcached "cas": conditional store; kNotStored when the version moved
+  /// (memcached EXISTS), kNotFound when the key vanished.
+  StatusCode cas(std::string_view key, std::span<const char> value,
+                 std::uint64_t cas_token, std::uint32_t flags = 0,
+                 std::int64_t expiration = 0);
+
+  /// memcached_mget: fetches many keys with one pipelined burst of
+  /// non-blocking Gets (scattered over the ring), waiting for all of them.
+  /// Returns one entry per input key; missing keys yield an empty optional.
+  std::vector<std::optional<std::vector<char>>> mget(
+      std::span<const std::string> keys);
+
+  // ---- Non-blocking API (Listing 1) ----
+
+  /// Issue-only Set: returns after posting to the engine. `value` (and `key`)
+  /// must stay untouched until `req` completes.
+  StatusCode iset(std::string_view key, std::span<const char> value,
+                  std::uint32_t flags, std::int64_t expiration, Request& req);
+
+  /// Buffer-safe Set: the value is copied into a registered bounce buffer;
+  /// key/value are reusable as soon as this returns. Blocks when all bounce
+  /// slots are in flight (bounded-pool backpressure).
+  StatusCode bset(std::string_view key, std::span<const char> value,
+                  std::uint32_t flags, std::int64_t expiration, Request& req);
+
+  /// Issue-only Get: on completion the value is in `dest` (or status is
+  /// kBufferTooSmall with req.value_length() telling the needed size).
+  StatusCode iget(std::string_view key, std::span<char> dest, Request& req);
+
+  /// Buffer-safe Get: additionally waits for header injection so the key
+  /// buffer is reusable on return.
+  StatusCode bget(std::string_view key, std::span<char> dest, Request& req);
+
+  /// Blocks until `req` completes (memcached_wait). Time spent is attributed
+  /// to the kClientWait stage.
+  void wait(Request& req);
+
+  /// Like wait() but gives up after `timeout` (real time): the request is
+  /// cancelled (kTimedOut) unless its completion raced in, in which case the
+  /// real status is returned. Safe against late responses -- a cancelled
+  /// request is unregistered before this returns.
+  StatusCode wait_for(Request& req, sim::Nanos timeout);
+
+  /// Cancels an in-flight request: completes it with kTimedOut unless it
+  /// already finished. Returns the final status.
+  StatusCode cancel(Request& req);
+
+  /// Non-blocking completion check (memcached_test).
+  [[nodiscard]] bool test(const Request& req) const { return req.done(); }
+
+  // ---- Introspection ----
+
+  [[nodiscard]] StageBreakdown breakdown() const;
+  [[nodiscard]] ClientCounters counters() const;
+  void reset_metrics();
+  [[nodiscard]] const ServerRing& ring() const noexcept { return ring_; }
+  [[nodiscard]] net::EndpointId endpoint_id() const { return endpoint_->id(); }
+
+ private:
+  struct TxJob {
+    std::uint16_t opcode = 0;
+    std::uint64_t wr_id = 0;
+    net::EndpointId server = net::kInvalidEndpoint;
+    std::string key;
+    std::span<const char> value{};   ///< Zero-copy source (iset) or slot view.
+    std::vector<char> owned_value;   ///< Fallback copy for oversized bsets.
+    std::uint32_t flags = 0;
+    std::int64_t expiration = 0;
+    std::uint64_t cas_token = 0;
+    Request* req = nullptr;
+  };
+
+  struct Pending {
+    Request* req = nullptr;
+    int slot = -1;      ///< Bounce slot to release on completion (-1: none).
+    bool is_get = false;
+  };
+
+  void tx_main();
+  void rx_main();
+  /// Publishes req's result and wakes waiters. Last access to `req`.
+  void signal_completion(Request& req, StatusCode status, std::uint32_t flags,
+                         std::size_t value_len);
+  /// Marks the request with this wr_id injected (local send completion) and
+  /// wakes waiters. Touches the Request only while it is still registered in
+  /// the pending map -- once a request completes (and may be destroyed by
+  /// its owner) it is no longer reachable from here.
+  void signal_sent(std::uint64_t wr_id);
+  /// Parks until the predicate holds (predicate may read request atomics).
+  template <typename Pred>
+  void park_until(Pred&& pred) {
+    std::unique_lock lock(completion_mu_);
+    completion_cv_.wait(lock, std::forward<Pred>(pred));
+  }
+  StatusCode issue(TxJob job, Request& req, int slot, bool is_get,
+                   std::span<char> dest);
+  void complete_all_pending(StatusCode status);
+  std::uint64_t next_wr_id() { return wr_id_seq_++; }
+
+  net::Fabric& fabric_;
+  ClientConfig config_;
+  BackendDb* backend_;
+  std::shared_ptr<net::Endpoint> endpoint_;
+  ServerRing ring_;
+
+  // Bounce buffer pool (pre-registered with the HCA at startup).
+  std::vector<std::unique_ptr<char[]>> slots_;
+  BlockingQueue<int> free_slots_;
+
+  BlockingQueue<TxJob> tx_queue_;
+  std::thread tx_thread_;
+  std::thread rx_thread_;
+
+  // Completion signalling: requests carry only atomic flags; sleeping
+  // waiters park on this client-wide cv so the progress threads never touch
+  // a (possibly already destroyed) per-request cv. See request.hpp.
+  std::mutex completion_mu_;
+  std::condition_variable completion_cv_;
+
+  mutable std::mutex pending_mu_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::uint64_t wr_id_seq_ = 1;
+  bool closed_ = false;
+
+  mutable std::mutex metrics_mu_;
+  StageBreakdown stages_;
+  ClientCounters counters_;
+
+  std::vector<char> scratch_;  ///< Blocking-get destination buffer.
+};
+
+}  // namespace hykv::client

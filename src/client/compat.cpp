@@ -1,0 +1,165 @@
+#include "client/compat.hpp"
+
+#include <cstring>
+
+namespace hykv::compat {
+namespace {
+
+std::span<const char> value_span(const char* value, std::size_t len) {
+  return {value, len};
+}
+
+}  // namespace
+
+void memcached_req::publish_outputs() {
+  if (!request.done()) return;
+  if (value_length_out != nullptr) *value_length_out = request.value_length();
+  if (flags_out != nullptr) *flags_out = request.flags();
+}
+
+memcached_st memcached_wrap(client::Client& impl) {
+  memcached_st st;
+  st.impl = &impl;
+  return st;
+}
+
+memcached_return memcached_set(memcached_st* ptr, const char* key,
+                               std::size_t key_length, const char* value,
+                               std::size_t value_length, std::time_t expiration,
+                               std::uint32_t flags) {
+  return ptr->impl->set({key, key_length}, value_span(value, value_length),
+                        flags, static_cast<std::int64_t>(expiration));
+}
+
+char* memcached_get(memcached_st* ptr, const char* key, std::size_t key_length,
+                    std::size_t* value_length, std::uint32_t* flags,
+                    memcached_return* error) {
+  static thread_local std::vector<char> result;
+  std::uint32_t out_flags = 0;
+  const StatusCode code = ptr->impl->get({key, key_length}, result, &out_flags);
+  if (error != nullptr) *error = code;
+  if (!ok(code)) return nullptr;
+  if (value_length != nullptr) *value_length = result.size();
+  if (flags != nullptr) *flags = out_flags;
+  return result.data();
+}
+
+memcached_return memcached_delete(memcached_st* ptr, const char* key,
+                                  std::size_t key_length, std::time_t) {
+  return ptr->impl->del({key, key_length});
+}
+
+memcached_return memcached_add(memcached_st* ptr, const char* key,
+                               std::size_t key_length, const char* value,
+                               std::size_t value_length, std::time_t expiration,
+                               std::uint32_t flags) {
+  return ptr->impl->add({key, key_length}, value_span(value, value_length),
+                        flags, static_cast<std::int64_t>(expiration));
+}
+
+memcached_return memcached_replace(memcached_st* ptr, const char* key,
+                                   std::size_t key_length, const char* value,
+                                   std::size_t value_length,
+                                   std::time_t expiration, std::uint32_t flags) {
+  return ptr->impl->replace({key, key_length}, value_span(value, value_length),
+                            flags, static_cast<std::int64_t>(expiration));
+}
+
+memcached_return memcached_append(memcached_st* ptr, const char* key,
+                                  std::size_t key_length, const char* value,
+                                  std::size_t value_length) {
+  return ptr->impl->append({key, key_length}, value_span(value, value_length));
+}
+
+memcached_return memcached_prepend(memcached_st* ptr, const char* key,
+                                   std::size_t key_length, const char* value,
+                                   std::size_t value_length) {
+  return ptr->impl->prepend({key, key_length}, value_span(value, value_length));
+}
+
+memcached_return memcached_increment(memcached_st* ptr, const char* key,
+                                     std::size_t key_length, std::uint32_t offset,
+                                     std::uint64_t* value) {
+  const auto result = ptr->impl->incr({key, key_length}, offset);
+  if (result.ok() && value != nullptr) *value = result.value();
+  return result.status();
+}
+
+memcached_return memcached_decrement(memcached_st* ptr, const char* key,
+                                     std::size_t key_length, std::uint32_t offset,
+                                     std::uint64_t* value) {
+  const auto result = ptr->impl->decr({key, key_length}, offset);
+  if (result.ok() && value != nullptr) *value = result.value();
+  return result.status();
+}
+
+memcached_return memcached_touch(memcached_st* ptr, const char* key,
+                                 std::size_t key_length, std::time_t expiration) {
+  return ptr->impl->touch({key, key_length},
+                          static_cast<std::int64_t>(expiration));
+}
+
+memcached_return memcached_flush(memcached_st* ptr, std::time_t) {
+  return ptr->impl->flush_all();
+}
+
+memcached_return memcached_iset(memcached_st* ptr, const char* key,
+                                std::size_t key_length, const char* value,
+                                std::size_t value_length, std::time_t expiration,
+                                std::uint32_t flags, memcached_req* req) {
+  req->value_length_out = nullptr;
+  req->flags_out = nullptr;
+  return ptr->impl->iset({key, key_length}, value_span(value, value_length),
+                         flags, static_cast<std::int64_t>(expiration),
+                         req->request);
+}
+
+char* memcached_iget(memcached_st* ptr, const char* key, std::size_t key_length,
+                     std::size_t* value_length, std::uint32_t* flags,
+                     memcached_req* req, memcached_return* error) {
+  req->response_buffer.resize(ptr->max_value_bytes);
+  req->value_length_out = value_length;
+  req->flags_out = flags;
+  const StatusCode code =
+      ptr->impl->iget({key, key_length}, req->response_buffer, req->request);
+  if (error != nullptr) *error = code;
+  return ok(code) ? req->response_buffer.data() : nullptr;
+}
+
+memcached_return memcached_bset(memcached_st* ptr, const char* key,
+                                std::size_t key_length, const char* value,
+                                std::size_t value_length, std::time_t expiration,
+                                std::uint32_t flags, memcached_req* req) {
+  req->value_length_out = nullptr;
+  req->flags_out = nullptr;
+  return ptr->impl->bset({key, key_length}, value_span(value, value_length),
+                         flags, static_cast<std::int64_t>(expiration),
+                         req->request);
+}
+
+char* memcached_bget(memcached_st* ptr, const char* key, std::size_t key_length,
+                     std::size_t* value_length, std::uint32_t* flags,
+                     memcached_req* req, memcached_return* error) {
+  req->response_buffer.resize(ptr->max_value_bytes);
+  req->value_length_out = value_length;
+  req->flags_out = flags;
+  const StatusCode code =
+      ptr->impl->bget({key, key_length}, req->response_buffer, req->request);
+  if (error != nullptr) *error = code;
+  return ok(code) ? req->response_buffer.data() : nullptr;
+}
+
+void memcached_test(memcached_st* ptr, memcached_req* req) {
+  if (ptr->impl->test(req->request)) req->publish_outputs();
+}
+
+void memcached_wait(memcached_st* ptr, memcached_req* req) {
+  ptr->impl->wait(req->request);
+  req->publish_outputs();
+}
+
+memcached_return memcached_req_status(const memcached_req* req) {
+  return req->request.status();
+}
+
+}  // namespace hykv::compat

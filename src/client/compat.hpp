@@ -1,0 +1,128 @@
+// C-style shim mirroring the paper's Listing 1 ("Non-Blocking API Extensions
+// to libMemcached") on top of hykv::client::Client, so code written against
+// the paper's proposed libmemcached surface ports over 1:1:
+//
+//   memcached_set / memcached_get               (blocking, stock names)
+//   memcached_iset / memcached_iget             (issue-only)
+//   memcached_bset / memcached_bget             (buffer-reuse-safe)
+//   memcached_wait / memcached_test             (completion)
+//
+// Differences from raw C libmemcached, by design:
+//  - memcached_st wraps a Client& created by the C++ embedding (no
+//    memcached_create/server_add config strings);
+//  - memcached_return is hykv's StatusCode (values map 1:1 in spirit);
+//  - memory returned by the get family is owned by the memcached_req (freed
+//    by its destructor), not by malloc.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ctime>
+#include <vector>
+
+#include "client/client.hpp"
+#include "client/request.hpp"
+
+namespace hykv::compat {
+
+using memcached_return = StatusCode;
+
+/// Wraps one hykv Client (the paper's memcached_st connection handle).
+struct memcached_st {
+  client::Client* impl = nullptr;
+  /// Capacity of buffers handed out by the iget/bget family.
+  std::size_t max_value_bytes = std::size_t{1} << 20;
+};
+
+/// The paper's memcached_req: completion flag + response-buffer pointer +
+/// user buffer bookkeeping.
+struct memcached_req {
+  client::Request request;
+  std::vector<char> response_buffer;
+  std::size_t* value_length_out = nullptr;
+  std::uint32_t* flags_out = nullptr;
+
+  /// Publishes value_length/flags to the user's out-pointers (idempotent).
+  void publish_outputs();
+};
+
+memcached_st memcached_wrap(client::Client& impl);
+
+// ---- Blocking API -------------------------------------------------------
+
+memcached_return memcached_set(memcached_st* ptr, const char* key,
+                               std::size_t key_length, const char* value,
+                               std::size_t value_length, std::time_t expiration,
+                               std::uint32_t flags);
+
+/// Returns a pointer to the fetched value (owned by *this call's* internal
+/// buffer inside memcached_st -- copy it out before the next get), or
+/// nullptr with *error set.
+char* memcached_get(memcached_st* ptr, const char* key, std::size_t key_length,
+                    std::size_t* value_length, std::uint32_t* flags,
+                    memcached_return* error);
+
+memcached_return memcached_delete(memcached_st* ptr, const char* key,
+                                  std::size_t key_length, std::time_t expiration);
+
+memcached_return memcached_add(memcached_st* ptr, const char* key,
+                               std::size_t key_length, const char* value,
+                               std::size_t value_length, std::time_t expiration,
+                               std::uint32_t flags);
+memcached_return memcached_replace(memcached_st* ptr, const char* key,
+                                   std::size_t key_length, const char* value,
+                                   std::size_t value_length,
+                                   std::time_t expiration, std::uint32_t flags);
+memcached_return memcached_append(memcached_st* ptr, const char* key,
+                                  std::size_t key_length, const char* value,
+                                  std::size_t value_length);
+memcached_return memcached_prepend(memcached_st* ptr, const char* key,
+                                   std::size_t key_length, const char* value,
+                                   std::size_t value_length);
+memcached_return memcached_increment(memcached_st* ptr, const char* key,
+                                     std::size_t key_length, std::uint32_t offset,
+                                     std::uint64_t* value);
+memcached_return memcached_decrement(memcached_st* ptr, const char* key,
+                                     std::size_t key_length, std::uint32_t offset,
+                                     std::uint64_t* value);
+memcached_return memcached_touch(memcached_st* ptr, const char* key,
+                                 std::size_t key_length, std::time_t expiration);
+memcached_return memcached_flush(memcached_st* ptr, std::time_t expiration);
+
+// ---- Non-blocking extensions (Listing 1) --------------------------------
+
+/// Non-blocking set. You can NOT reuse the key/value buffers until either a
+/// successful wait/test or you know the key/value reached the server side.
+memcached_return memcached_iset(memcached_st* ptr, const char* key,
+                                std::size_t key_length, const char* value,
+                                std::size_t value_length, std::time_t expiration,
+                                std::uint32_t flags, memcached_req* req);
+
+/// Non-blocking get. You can NOT reuse the key buffer until wait/test.
+/// Returns the buffer the value will appear in once the request completes.
+char* memcached_iget(memcached_st* ptr, const char* key, std::size_t key_length,
+                     std::size_t* value_length, std::uint32_t* flags,
+                     memcached_req* req, memcached_return* error);
+
+/// Non-blocking set. You CAN reuse the key/value buffers once this returns.
+memcached_return memcached_bset(memcached_st* ptr, const char* key,
+                                std::size_t key_length, const char* value,
+                                std::size_t value_length, std::time_t expiration,
+                                std::uint32_t flags, memcached_req* req);
+
+/// Non-blocking get. You CAN reuse the key buffer once this returns.
+char* memcached_bget(memcached_st* ptr, const char* key, std::size_t key_length,
+                     std::size_t* value_length, std::uint32_t* flags,
+                     memcached_req* req, memcached_return* error);
+
+/// Testing non-blocking API completion (updates req's out-pointers when the
+/// operation has completed).
+void memcached_test(memcached_st* ptr, memcached_req* req);
+
+/// Waiting on non-blocking API completion.
+void memcached_wait(memcached_st* ptr, memcached_req* req);
+
+/// Completion status accessor (kInProgress until complete).
+memcached_return memcached_req_status(const memcached_req* req);
+
+}  // namespace hykv::compat

@@ -1,0 +1,50 @@
+// Ketama-style consistent-hash ring for key -> server selection, the
+// mechanism libmemcached uses to scatter keys over a Memcached cluster.
+// Immutable after construction; safe to share across threads.
+#pragma once
+
+#include <cassert>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "net/message.hpp"
+
+namespace hykv::client {
+
+class ServerRing {
+ public:
+  /// `servers` must be non-empty. `vnodes` hash points are placed per server.
+  explicit ServerRing(std::vector<net::EndpointId> servers,
+                      unsigned vnodes = 160)
+      : servers_(std::move(servers)) {
+    assert(!servers_.empty());
+    for (const net::EndpointId server : servers_) {
+      for (unsigned v = 0; v < vnodes; ++v) {
+        const std::uint64_t point = mix64(server * 0x1000193ULL + v);
+        ring_.emplace(point, server);
+      }
+    }
+  }
+
+  /// Server owning `key`: first hash point clockwise from hash(key).
+  [[nodiscard]] net::EndpointId select(std::string_view key) const {
+    if (servers_.size() == 1) return servers_.front();
+    const std::uint64_t h = xxh64(key);
+    auto it = ring_.lower_bound(h);
+    if (it == ring_.end()) it = ring_.begin();
+    return it->second;
+  }
+
+  [[nodiscard]] const std::vector<net::EndpointId>& servers() const noexcept {
+    return servers_;
+  }
+
+ private:
+  std::vector<net::EndpointId> servers_;
+  std::map<std::uint64_t, net::EndpointId> ring_;
+};
+
+}  // namespace hykv::client

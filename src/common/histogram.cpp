@@ -1,0 +1,77 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace hykv {
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t ns) noexcept {
+  if (ns < kSubBuckets) return static_cast<std::size_t>(ns);
+  const int msb = 63 - std::countl_zero(ns);
+  const int major = msb - kSubBucketBits + 1;
+  const auto sub = static_cast<std::size_t>(ns >> (msb - kSubBucketBits)) - kSubBuckets;
+  return static_cast<std::size_t>(major) * kSubBuckets + kSubBuckets + sub;
+}
+
+std::uint64_t LatencyHistogram::bucket_upper_bound(std::size_t index) noexcept {
+  if (index < kSubBuckets) return index;
+  // Inverse of bucket_index: a bucket with major index m covers values with
+  // msb == m + kSubBucketBits - 1, i.e. [2^(m+4), 2^(m+5)) for 5 sub-bucket
+  // bits, split into kSubBuckets linear steps of 2^(m-1).
+  const std::size_t major = (index - kSubBuckets) / kSubBuckets;
+  const std::size_t sub = (index - kSubBuckets) % kSubBuckets;
+  const std::uint64_t base = (std::uint64_t{kSubBuckets} << major) / 2;
+  const std::uint64_t step = std::max<std::uint64_t>(1, (std::uint64_t{1} << major) / 2);
+  return base + (sub + 1) * step - 1;
+}
+
+void LatencyHistogram::record_ns(std::uint64_t ns) noexcept {
+  const std::size_t index = std::min(bucket_index(ns), buckets_.size() - 1);
+  ++buckets_[index];
+  ++count_;
+  sum_ += ns;
+  min_ = std::min(min_, ns);
+  max_ = std::max(max_, ns);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void LatencyHistogram::reset() noexcept {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = UINT64_MAX;
+  max_ = 0;
+}
+
+std::uint64_t LatencyHistogram::percentile_ns(double p) const noexcept {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  const auto target = static_cast<std::uint64_t>(
+      p / 100.0 * static_cast<double>(count_) + 0.5);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      return std::min(bucket_upper_bound(i), max_);
+    }
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::summary() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "mean=%.1fus p50=%.1fus p99=%.1fus n=%llu",
+                mean_us(), p50_us(), p99_us(),
+                static_cast<unsigned long long>(count_));
+  return buf;
+}
+
+}  // namespace hykv

@@ -1,0 +1,62 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <string_view>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+namespace hykv {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_log_mu;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+
+void init_log_level_from_env() noexcept {
+  const char* env = std::getenv("HYKV_LOG");
+  if (env == nullptr) return;
+  const std::string_view v(env);
+  if (v == "debug") set_log_level(LogLevel::kDebug);
+  else if (v == "info") set_log_level(LogLevel::kInfo);
+  else if (v == "warn") set_log_level(LogLevel::kWarn);
+  else if (v == "error") set_log_level(LogLevel::kError);
+  else if (v == "off") set_log_level(LogLevel::kOff);
+}
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log_message(LogLevel level, const char* fmt, ...) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  const auto now = std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now().time_since_epoch())
+                       .count();
+  char body[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(body, sizeof(body), fmt, args);
+  va_end(args);
+  const std::scoped_lock lock(g_log_mu);
+  std::fprintf(stderr, "[%12lld.%06llds %s t=%zx] %s\n",
+               static_cast<long long>(now / 1000000),
+               static_cast<long long>(now % 1000000), level_name(level),
+               std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xFFFF,
+               body);
+}
+
+}  // namespace hykv

@@ -1,0 +1,32 @@
+// Minimal leveled logger. hykv logs sparingly (setup, shutdown, anomalies);
+// hot paths never log. Thread-safe via a single global mutex -- acceptable
+// because logging is off the modelled critical path.
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+
+namespace hykv {
+
+enum class LogLevel : std::uint8_t { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Reads HYKV_LOG (debug|info|warn|error|off) and applies it. Called by
+/// bench/example banners so field debugging never needs a rebuild.
+void init_log_level_from_env() noexcept;
+
+/// printf-style; prepends time, level and thread id.
+void log_message(LogLevel level, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+}  // namespace hykv
+
+#define HYKV_DEBUG(...) ::hykv::log_message(::hykv::LogLevel::kDebug, __VA_ARGS__)
+#define HYKV_INFO(...) ::hykv::log_message(::hykv::LogLevel::kInfo, __VA_ARGS__)
+#define HYKV_WARN(...) ::hykv::log_message(::hykv::LogLevel::kWarn, __VA_ARGS__)
+#define HYKV_ERROR(...) ::hykv::log_message(::hykv::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,131 @@
+#include "common/random.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+#include "common/hash.hpp"
+
+namespace hykv {
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  // splitmix64 seeding as recommended by the xoshiro authors.
+  std::uint64_t x = seed;
+  for (auto& s : state_) {
+    x += 0x9E3779B97F4A7C15ULL;
+    s = mix64(x);
+  }
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = std::rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  assert(bound > 0);
+  // Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t x = next();
+  unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = next();
+      m = static_cast<unsigned __int128>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::next_double() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+void Rng::fill(char* out, std::size_t len) noexcept {
+  std::size_t i = 0;
+  while (i < len) {
+    std::uint64_t word = next();
+    for (int b = 0; b < 8 && i < len; ++b, ++i) {
+      // Printable ASCII so dumps are readable in debuggers.
+      out[i] = static_cast<char>('!' + (word & 0x3F));
+      word >>= 6;
+    }
+  }
+}
+
+namespace {
+
+double zeta(std::uint64_t n, double theta) {
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+// zeta(n, theta) is O(n); cache it so constructing many generators over the
+// same key space (one per client thread) stays cheap.
+double cached_zeta(std::uint64_t n, double theta) {
+  static std::mutex mu;
+  static std::map<std::pair<std::uint64_t, double>, double> cache;
+  const std::scoped_lock lock(mu);
+  auto [it, inserted] = cache.try_emplace({n, theta}, 0.0);
+  if (inserted) it->second = zeta(n, theta);
+  return it->second;
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta, std::uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  assert(n > 0);
+  assert(theta > 0.0 && theta < 1.0);
+  zetan_ = cached_zeta(n, theta);
+  zeta2theta_ = cached_zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+std::uint64_t ZipfGenerator::next() noexcept {
+  const double u = rng_.next_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const double raw =
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  auto rank = static_cast<std::uint64_t>(raw);
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+std::uint64_t ScrambledZipfGenerator::next() noexcept {
+  return mix64(zipf_.next()) % n_;
+}
+
+std::string make_key(std::uint64_t index) {
+  char buf[21];
+  std::snprintf(buf, sizeof(buf), "key-%016llx",
+                static_cast<unsigned long long>(index));
+  return std::string(buf, 20);
+}
+
+std::vector<char> make_value(std::uint64_t index, std::size_t size) {
+  std::vector<char> value(size);
+  Rng rng(mix64(index) ^ 0xC0FFEE);
+  rng.fill(value.data(), value.size());
+  return value;
+}
+
+}  // namespace hykv

@@ -1,0 +1,88 @@
+// Pseudo-random utilities: a fast seedable PRNG and the access-pattern
+// generators used by the OHB-style micro-benchmarks (Section VI-A of the
+// paper): Uniform and Zipf-like skewed key distributions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hykv {
+
+/// xoshiro256** 1.0 -- fast, high-quality, 64-bit PRNG. Deterministic per
+/// seed so every workload in tests and benches is reproducible.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  std::uint64_t next() noexcept;
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Fills `out` with pseudo-random printable bytes (deterministic).
+  void fill(char* out, std::size_t len) noexcept;
+
+ private:
+  std::uint64_t state_[4];
+};
+
+/// YCSB-style Zipfian generator over [0, n). Uses the Gray et al.
+/// zeta-function method: O(1) per sample after an O(n) one-time zeta
+/// computation (cached per (n, theta)). theta in (0, 1); 0.99 matches the
+/// YCSB default the paper's "Zipf-like" pattern refers to.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta, std::uint64_t seed);
+
+  std::uint64_t next() noexcept;
+
+  [[nodiscard]] std::uint64_t n() const noexcept { return n_; }
+  [[nodiscard]] double theta() const noexcept { return theta_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+  Rng rng_;
+};
+
+/// Uniform key generator over [0, n).
+class UniformGenerator {
+ public:
+  UniformGenerator(std::uint64_t n, std::uint64_t seed) noexcept : n_(n), rng_(seed) {}
+  std::uint64_t next() noexcept { return rng_.next_below(n_); }
+
+ private:
+  std::uint64_t n_;
+  Rng rng_;
+};
+
+/// Scrambles sequential Zipf ranks across the key space so that hot keys are
+/// spread over servers/slabs (YCSB "scrambled zipfian").
+class ScrambledZipfGenerator {
+ public:
+  ScrambledZipfGenerator(std::uint64_t n, double theta, std::uint64_t seed)
+      : n_(n), zipf_(n, theta, seed) {}
+  std::uint64_t next() noexcept;
+
+ private:
+  std::uint64_t n_;
+  ZipfGenerator zipf_;
+};
+
+/// Formats the canonical benchmark key for a key index: "key-%016x" style,
+/// fixed 20-byte keys as in the OHB micro-benchmarks.
+std::string make_key(std::uint64_t index);
+
+/// Deterministic value payload for a key index: seeded pseudo-random bytes
+/// whose content can be re-derived for integrity verification.
+std::vector<char> make_value(std::uint64_t index, std::size_t size);
+
+}  // namespace hykv

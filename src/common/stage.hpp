@@ -1,0 +1,88 @@
+// The six Set/Get stages the paper's characterisation methodology profiles
+// (Section III-A). Servers and clients attribute elapsed time to these
+// stages; bench/fig2 and bench/fig6 print the resulting breakdowns.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string_view>
+
+namespace hykv {
+
+enum class Stage : std::uint8_t {
+  kSlabAllocation = 0,  ///< Slab/memory management, incl. SSD flush on evict.
+  kCacheCheckLoad,      ///< Lookup + (hybrid) SSD read of the item.
+  kCacheUpdate,         ///< LRU promotion / freshness maintenance.
+  kServerResponse,      ///< Response formatting + server-side send.
+  kClientWait,          ///< Client-side blocking on request completion.
+  kMissPenalty,         ///< Backend database access on a cache miss.
+};
+constexpr std::size_t kStageCount = 6;
+
+constexpr std::string_view to_string(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::kSlabAllocation: return "SlabAllocation";
+    case Stage::kCacheCheckLoad: return "CacheCheck+Load";
+    case Stage::kCacheUpdate: return "CacheUpdate";
+    case Stage::kServerResponse: return "ServerResponse";
+    case Stage::kClientWait: return "ClientWait";
+    case Stage::kMissPenalty: return "MissPenalty";
+  }
+  return "?";
+}
+
+/// Accumulated nanoseconds per stage. Mergeable; one instance per worker
+/// thread, merged at report time (no hot-path synchronisation).
+class StageBreakdown {
+ public:
+  void add(Stage stage, std::chrono::nanoseconds d) noexcept {
+    totals_[static_cast<std::size_t>(stage)] +=
+        static_cast<std::uint64_t>(d.count() < 0 ? 0 : d.count());
+  }
+  void add_ops(std::uint64_t n = 1) noexcept { ops_ += n; }
+
+  void merge(const StageBreakdown& other) noexcept {
+    for (std::size_t i = 0; i < kStageCount; ++i) totals_[i] += other.totals_[i];
+    ops_ += other.ops_;
+  }
+
+  [[nodiscard]] std::uint64_t total_ns(Stage stage) const noexcept {
+    return totals_[static_cast<std::size_t>(stage)];
+  }
+  /// Average stage time per operation, in microseconds.
+  [[nodiscard]] double per_op_us(Stage stage) const noexcept {
+    return ops_ == 0 ? 0.0
+                     : static_cast<double>(total_ns(stage)) /
+                           static_cast<double>(ops_) / 1e3;
+  }
+  [[nodiscard]] std::uint64_t ops() const noexcept { return ops_; }
+
+  void reset() noexcept {
+    totals_.fill(0);
+    ops_ = 0;
+  }
+
+ private:
+  std::array<std::uint64_t, kStageCount> totals_{};
+  std::uint64_t ops_ = 0;
+};
+
+/// RAII stage timer: attributes the scope's wall time to a stage.
+class StageTimer {
+ public:
+  StageTimer(StageBreakdown& sink, Stage stage) noexcept
+      : sink_(sink), stage_(stage), start_(std::chrono::steady_clock::now()) {}
+  ~StageTimer() {
+    sink_.add(stage_, std::chrono::steady_clock::now() - start_);
+  }
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  StageBreakdown& sink_;
+  Stage stage_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace hykv

@@ -1,0 +1,89 @@
+// Lightweight status / result types used across all hykv subsystems.
+//
+// hykv is exception-free on its hot paths: operations that can fail in
+// expected ways (key not found, out of space, timed out) report a StatusCode;
+// programming errors use assertions. Result<T> couples a StatusCode with a
+// value for call sites that produce data.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+namespace hykv {
+
+/// Outcome of a key-value or transport operation. Values deliberately mirror
+/// the memcached protocol's response taxonomy so the libmemcached-compatible
+/// shim can map them 1:1.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,          ///< Operation completed successfully.
+  kNotFound,        ///< Key does not exist anywhere in the cache tier.
+  kNotStored,       ///< Store failed (e.g. no memory and eviction disabled).
+  kBufferTooSmall,  ///< Caller-provided buffer cannot hold the value.
+  kOutOfMemory,     ///< Allocation failed and nothing could be evicted.
+  kServerError,     ///< Server-side failure unrelated to the key.
+  kNetworkError,    ///< Transport failure (endpoint closed, QP torn down).
+  kTimedOut,        ///< Completion did not arrive within the deadline.
+  kInvalidArgument, ///< Malformed request (empty key, oversized item, ...).
+  kInProgress,      ///< Non-blocking operation has not completed yet.
+  kShutdown,        ///< Component is shutting down; request not serviced.
+};
+
+/// Human-readable name for logging and test diagnostics.
+constexpr std::string_view to_string(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kNotStored: return "NOT_STORED";
+    case StatusCode::kBufferTooSmall: return "BUFFER_TOO_SMALL";
+    case StatusCode::kOutOfMemory: return "OUT_OF_MEMORY";
+    case StatusCode::kServerError: return "SERVER_ERROR";
+    case StatusCode::kNetworkError: return "NETWORK_ERROR";
+    case StatusCode::kTimedOut: return "TIMED_OUT";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kInProgress: return "IN_PROGRESS";
+    case StatusCode::kShutdown: return "SHUTDOWN";
+  }
+  return "UNKNOWN";
+}
+
+constexpr bool ok(StatusCode code) noexcept { return code == StatusCode::kOk; }
+
+/// Value-or-status result. Accessing value() on a failed result asserts.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : code_(StatusCode::kOk), value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(StatusCode code) : code_(code) {  // NOLINT(google-explicit-constructor)
+    assert(code != StatusCode::kOk && "use the value constructor for kOk");
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode status() const noexcept { return code_; }
+
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value or `fallback` when the result is an error.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  StatusCode code_;
+  std::optional<T> value_;
+};
+
+}  // namespace hykv

@@ -1,0 +1,81 @@
+// TestBed: one fully wired deployment of a Design -- fabric, N Memcached
+// servers with their storage stacks, and the backend database for the
+// in-memory designs. This is the top-level object benches and examples
+// build; clients are minted per application thread with make_client().
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/backend_db.hpp"
+#include "client/client.hpp"
+#include "core/design.hpp"
+#include "net/fabric.hpp"
+#include "server/server.hpp"
+#include "ssd/io_engine.hpp"
+
+namespace hykv::core {
+
+struct TestBedConfig {
+  Design design = Design::kRdmaMem;
+  unsigned num_servers = 1;
+  /// Aggregated cache RAM across the cluster (paper: "aggregated memory of
+  /// 1 GB"); split evenly over servers.
+  std::size_t total_server_memory = std::size_t{64} << 20;
+  SsdProfile ssd = SsdProfile::sata();
+  /// Aggregated SSD usage cap (0 = unlimited); split evenly over servers.
+  std::size_t total_ssd_limit = 0;
+  BackendDbProfile backend{};
+  /// Optional backend resolver so misses can be served without preloading
+  /// the database (see client::BackendDb).
+  client::BackendDb::Resolver backend_resolver = nullptr;
+
+  std::size_t slab_bytes = std::size_t{1} << 20;
+  std::size_t adaptive_threshold = std::size_t{64} << 10;
+  bool promote_on_hit = true;
+  unsigned processing_threads = 1;
+  std::size_t server_buffer_slots = 16;
+  std::size_t client_bounce_slots = 16;
+  std::size_t client_bounce_slot_bytes = std::size_t{1} << 20;
+};
+
+class TestBed {
+ public:
+  explicit TestBed(TestBedConfig config);
+  ~TestBed();
+
+  TestBed(const TestBed&) = delete;
+  TestBed& operator=(const TestBed&) = delete;
+
+  /// Creates a client wired to all servers of this bed (one per app thread).
+  [[nodiscard]] std::unique_ptr<client::Client> make_client(std::string name);
+
+  [[nodiscard]] Design design() const noexcept { return config_.design; }
+  [[nodiscard]] const TestBedConfig& config() const noexcept { return config_; }
+  [[nodiscard]] net::Fabric& fabric() noexcept { return *fabric_; }
+  [[nodiscard]] client::BackendDb& backend() noexcept { return backend_; }
+  [[nodiscard]] std::size_t num_servers() const noexcept { return servers_.size(); }
+  [[nodiscard]] server::MemcachedServer& server(std::size_t i) {
+    return *servers_[i];
+  }
+
+  /// Server-side stage times merged over all servers.
+  [[nodiscard]] StageBreakdown server_breakdown() const;
+  /// Store stats summed over all servers.
+  [[nodiscard]] store::ManagerStats store_stats() const;
+  [[nodiscard]] ssd::DeviceStats device_stats() const;
+  void reset_metrics();
+
+  /// Blocks until all SSD write-back has drained (quiesce between phases).
+  void sync_storage();
+
+ private:
+  TestBedConfig config_;
+  std::unique_ptr<net::Fabric> fabric_;
+  client::BackendDb backend_;
+  std::vector<std::unique_ptr<ssd::StorageStack>> storage_;
+  std::vector<std::unique_ptr<server::MemcachedServer>> servers_;
+};
+
+}  // namespace hykv::core

@@ -1,0 +1,202 @@
+#include "net/fabric.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <optional>
+
+#include "common/hash.hpp"
+#include "common/logging.hpp"
+
+namespace hykv::net {
+namespace {
+
+/// Injection (occupancy) time: the transfer cost minus propagation. This is
+/// the duration a NIC/link is busy with this message's bytes.
+sim::Nanos occupancy_time(const FabricProfile& profile, std::size_t size) {
+  return profile.transfer_time(size) - profile.base_latency;
+}
+
+std::uint64_t reg_cache_key(const char* addr, std::size_t len) {
+  return mix64(reinterpret_cast<std::uintptr_t>(addr)) ^ mix64(len);
+}
+
+}  // namespace
+
+Endpoint::Endpoint(Fabric& fabric, EndpointId id, std::string name)
+    : fabric_(fabric), id_(id), name_(std::move(name)) {}
+
+Fabric::Fabric(FabricProfile profile) : profile_(std::move(profile)) {}
+
+std::shared_ptr<Endpoint> Fabric::create_endpoint(std::string name) {
+  const std::scoped_lock lock(mu_);
+  const EndpointId id = next_id_++;
+  auto ep = std::make_shared<Endpoint>(*this, id, std::move(name));
+  endpoints_.emplace(id, ep);
+  return ep;
+}
+
+Endpoint* Fabric::find(EndpointId id) {
+  const std::scoped_lock lock(mu_);
+  auto it = endpoints_.find(id);
+  return it == endpoints_.end() ? nullptr : it->second.get();
+}
+
+std::pair<sim::TimePoint, sim::TimePoint> Fabric::reserve_path(
+    Endpoint& src, Endpoint& dst, std::size_t size) {
+  const sim::Nanos occupancy = sim::scaled(occupancy_time(profile_, size));
+  const sim::Nanos propagation = sim::scaled(profile_.base_latency);
+  const std::scoped_lock lock(mu_);
+  const sim::TimePoint now = sim::now();
+  sim::TimePoint start = std::max(now, src.tx_free_);
+  start = std::max(start, dst.rx_free_);
+  const sim::TimePoint finish = start + occupancy;
+  src.tx_free_ = finish;
+  dst.rx_free_ = finish;
+  total_bytes_.fetch_add(size, std::memory_order_relaxed);
+  return {finish, finish + propagation};
+}
+
+SendTicket Endpoint::send(EndpointId dst, std::uint16_t opcode,
+                          std::uint64_t wr_id, std::span<const char> payload) {
+  sim::advance(fabric_.profile().doorbell);
+  Endpoint* target = fabric_.find(dst);
+  if (target == nullptr || target->rx_.closed()) {
+    // Completed "immediately": nothing was injected. Callers detect the
+    // failure at the protocol level (no response -> timeout/shutdown).
+    return SendTicket{sim::now()};
+  }
+  const auto [finish, deliver_at] = fabric_.reserve_path(*this, *target, payload.size());
+
+  Message msg;
+  msg.src = id_;
+  msg.dst = dst;
+  msg.opcode = opcode;
+  msg.wr_id = wr_id;
+  msg.payload.assign(payload.begin(), payload.end());
+  msg.deliver_at = deliver_at;
+  target->rx_.push(std::move(msg));
+
+  {
+    const std::scoped_lock lock(mu_);
+    ++stats_.sends;
+    stats_.sent_bytes += payload.size();
+  }
+  return SendTicket{finish};
+}
+
+Result<Message> Endpoint::recv() {
+  auto msg = rx_.pop();
+  if (!msg.has_value()) return StatusCode::kShutdown;
+  sim::wait_until(msg->deliver_at);
+  const std::scoped_lock lock(mu_);
+  ++stats_.recvs;
+  return std::move(*msg);
+}
+
+Result<Message> Endpoint::recv_for(sim::Nanos real_timeout) {
+  auto msg = rx_.pop_for(real_timeout);
+  if (!msg.has_value()) {
+    return rx_.closed() ? StatusCode::kShutdown : StatusCode::kTimedOut;
+  }
+  sim::wait_until(msg->deliver_at);
+  const std::scoped_lock lock(mu_);
+  ++stats_.recvs;
+  return std::move(*msg);
+}
+
+MemoryRegion Endpoint::register_memory(char* addr, std::size_t len) {
+  const std::uint64_t key = reg_cache_key(addr, len);
+  std::optional<MemoryRegion> cached;
+  {
+    const std::scoped_lock lock(mu_);
+    auto it = reg_cache_.find(key);
+    if (it != reg_cache_.end()) {
+      ++stats_.registration_hits;
+      cached = it->second;
+    }
+  }
+  if (cached.has_value()) {
+    sim::advance(fabric_.profile().registration_cached);
+    return *cached;
+  }
+  // Cold registration: pin pages, build HCA translation entries.
+  sim::advance(fabric_.profile().registration_time(len));
+  const std::scoped_lock lock(mu_);
+  MemoryRegion region;
+  region.rkey = next_rkey_++;
+  region.addr = addr;
+  region.length = len;
+  reg_cache_.emplace(key, region);
+  exposed_.emplace(region.rkey, region);
+  ++stats_.registrations;
+  return region;
+}
+
+void Endpoint::deregister_memory(const MemoryRegion& region) {
+  const std::scoped_lock lock(mu_);
+  exposed_.erase(region.rkey);
+  for (auto it = reg_cache_.begin(); it != reg_cache_.end(); ++it) {
+    if (it->second.rkey == region.rkey) {
+      reg_cache_.erase(it);
+      break;
+    }
+  }
+}
+
+StatusCode Endpoint::rdma_write(const RemoteKey& key, std::size_t offset,
+                                std::span<const char> data) {
+  if (!fabric_.profile().one_sided) return StatusCode::kNetworkError;
+  Endpoint* target = fabric_.find(key.endpoint);
+  if (target == nullptr) return StatusCode::kNetworkError;
+  char* dest = nullptr;
+  {
+    const std::scoped_lock lock(target->mu_);
+    auto it = target->exposed_.find(key.rkey);
+    if (it == target->exposed_.end()) return StatusCode::kInvalidArgument;
+    if (offset + data.size() > it->second.length) return StatusCode::kInvalidArgument;
+    dest = it->second.addr + offset;
+  }
+  sim::advance(fabric_.profile().doorbell);
+  const auto [finish, deliver_at] = fabric_.reserve_path(*this, *target, data.size());
+  (void)finish;
+  std::memcpy(dest, data.data(), data.size());
+  // One-sided write completion: payload placed, ack returns (propagation).
+  sim::wait_until(deliver_at);
+  const std::scoped_lock lock(mu_);
+  ++stats_.one_sided_ops;
+  return StatusCode::kOk;
+}
+
+StatusCode Endpoint::rdma_read(const RemoteKey& key, std::size_t offset,
+                               std::span<char> out) {
+  if (!fabric_.profile().one_sided) return StatusCode::kNetworkError;
+  Endpoint* target = fabric_.find(key.endpoint);
+  if (target == nullptr) return StatusCode::kNetworkError;
+  const char* from = nullptr;
+  {
+    const std::scoped_lock lock(target->mu_);
+    auto it = target->exposed_.find(key.rkey);
+    if (it == target->exposed_.end()) return StatusCode::kInvalidArgument;
+    if (offset + out.size() > it->second.length) return StatusCode::kInvalidArgument;
+    from = it->second.addr + offset;
+  }
+  sim::advance(fabric_.profile().doorbell);
+  // Read: request propagates there (base), data streams back (occupancy),
+  // then propagates back (base).
+  const auto [finish, deliver_at] = fabric_.reserve_path(*this, *target, out.size());
+  (void)finish;
+  sim::wait_until(deliver_at + sim::scaled(fabric_.profile().base_latency));
+  std::memcpy(out.data(), from, out.size());
+  const std::scoped_lock lock(mu_);
+  ++stats_.one_sided_ops;
+  return StatusCode::kOk;
+}
+
+void Endpoint::close() { rx_.close(); }
+
+EndpointStats Endpoint::stats() const {
+  const std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+}  // namespace hykv::net

@@ -1,0 +1,35 @@
+// Wire-level message for the simulated fabric. The fabric is payload-
+// agnostic: opcodes and payload encodings are defined by the protocol layer
+// (server/protocol.hpp); the fabric only moves bytes and models time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_time.hpp"
+
+namespace hykv::net {
+
+using EndpointId = std::uint64_t;
+constexpr EndpointId kInvalidEndpoint = 0;
+
+struct Message {
+  EndpointId src = kInvalidEndpoint;
+  EndpointId dst = kInvalidEndpoint;
+  std::uint16_t opcode = 0;   ///< Protocol-defined operation code.
+  std::uint64_t wr_id = 0;    ///< Work-request id for request/response matching.
+  std::vector<char> payload;  ///< Byte payload (header + data).
+  sim::TimePoint deliver_at;  ///< Earliest time the receiver may observe it.
+};
+
+/// Handle to a posted send: completes_at is the instant the local HCA has
+/// finished reading the source buffer (local send completion) -- the moment
+/// a zero-copy sender may reuse its buffer.
+struct SendTicket {
+  sim::TimePoint completes_at;
+  /// Blocks until the local send completion.
+  void wait() const { sim::wait_until(completes_at); }
+  [[nodiscard]] bool done() const noexcept { return sim::now() >= completes_at; }
+};
+
+}  // namespace hykv::net

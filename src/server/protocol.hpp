@@ -1,0 +1,246 @@
+// Wire protocol between the hykv client library and the Memcached server.
+//
+// Binary little-endian framing (this is an in-process simulation; both ends
+// share endianness). Opcodes ride in Message::opcode, correlation in wr_id.
+//
+//   SET  : [u32 key_len][u32 flags][i64 expiration][key][value]
+//   GET  : [u32 key_len][key]
+//   DEL  : [u32 key_len][key]
+//   RESP : [u8 status][u32 flags][value...]          (value only for GET hits)
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace hykv::server {
+
+enum Opcode : std::uint16_t {
+  kOpSet = 1,
+  kOpGet = 2,
+  kOpDelete = 3,
+  kOpResponse = 4,
+  kOpAdd = 5,       ///< Store iff absent (payload = SET encoding).
+  kOpReplace = 6,   ///< Store iff present (payload = SET encoding).
+  kOpAppend = 7,    ///< Extend value at the end (payload = SET encoding).
+  kOpPrepend = 8,   ///< Extend value at the front (payload = SET encoding).
+  kOpIncr = 9,      ///< [u32 key_len][u64 delta][key]; resp value = LE u64.
+  kOpDecr = 10,
+  kOpTouch = 11,    ///< [u32 key_len][i64 expiration][key].
+  kOpFlushAll = 12, ///< Empty payload; drops every item on the server.
+  kOpStats = 13,    ///< Empty payload; resp value = "key value\n" text.
+  kOpGets = 14,     ///< GET encoding; resp value = [u64 cas][value bytes].
+  kOpCas = 15,      ///< [u32 key_len][u32 flags][i64 exp][u64 cas][key][value].
+};
+
+struct SetRequest {
+  std::string_view key;
+  std::span<const char> value;
+  std::uint32_t flags = 0;
+  std::int64_t expiration = 0;
+};
+
+struct KeyRequest {
+  std::string_view key;
+};
+
+struct Response {
+  StatusCode status = StatusCode::kServerError;
+  std::uint32_t flags = 0;
+  std::span<const char> value{};
+};
+
+namespace detail {
+inline void append_u32(std::vector<char>& out, std::uint32_t v) {
+  const auto offset = out.size();
+  out.resize(offset + 4);
+  std::memcpy(out.data() + offset, &v, 4);
+}
+inline void append_i64(std::vector<char>& out, std::int64_t v) {
+  const auto offset = out.size();
+  out.resize(offset + 8);
+  std::memcpy(out.data() + offset, &v, 8);
+}
+inline bool read_u32(std::span<const char> in, std::size_t& pos, std::uint32_t& v) {
+  if (pos + 4 > in.size()) return false;
+  std::memcpy(&v, in.data() + pos, 4);
+  pos += 4;
+  return true;
+}
+inline bool read_i64(std::span<const char> in, std::size_t& pos, std::int64_t& v) {
+  if (pos + 8 > in.size()) return false;
+  std::memcpy(&v, in.data() + pos, 8);
+  pos += 8;
+  return true;
+}
+}  // namespace detail
+
+inline std::vector<char> encode_set(const SetRequest& req) {
+  std::vector<char> out;
+  out.reserve(16 + req.key.size() + req.value.size());
+  detail::append_u32(out, static_cast<std::uint32_t>(req.key.size()));
+  detail::append_u32(out, req.flags);
+  detail::append_i64(out, req.expiration);
+  out.insert(out.end(), req.key.begin(), req.key.end());
+  out.insert(out.end(), req.value.begin(), req.value.end());
+  return out;
+}
+
+/// Views into `payload`; the payload must outlive the request.
+inline std::optional<SetRequest> decode_set(std::span<const char> payload) {
+  std::size_t pos = 0;
+  std::uint32_t key_len = 0;
+  SetRequest req;
+  if (!detail::read_u32(payload, pos, key_len)) return std::nullopt;
+  if (!detail::read_u32(payload, pos, req.flags)) return std::nullopt;
+  if (!detail::read_i64(payload, pos, req.expiration)) return std::nullopt;
+  if (pos + key_len > payload.size()) return std::nullopt;
+  req.key = std::string_view(payload.data() + pos, key_len);
+  pos += key_len;
+  req.value = payload.subspan(pos);
+  return req;
+}
+
+inline std::vector<char> encode_key_request(std::string_view key) {
+  std::vector<char> out;
+  out.reserve(4 + key.size());
+  detail::append_u32(out, static_cast<std::uint32_t>(key.size()));
+  out.insert(out.end(), key.begin(), key.end());
+  return out;
+}
+
+inline std::optional<KeyRequest> decode_key_request(std::span<const char> payload) {
+  std::size_t pos = 0;
+  std::uint32_t key_len = 0;
+  if (!detail::read_u32(payload, pos, key_len)) return std::nullopt;
+  if (pos + key_len != payload.size()) return std::nullopt;
+  return KeyRequest{std::string_view(payload.data() + pos, key_len)};
+}
+
+inline std::vector<char> encode_response(StatusCode status, std::uint32_t flags,
+                                         std::span<const char> value = {}) {
+  std::vector<char> out;
+  out.reserve(5 + value.size());
+  out.push_back(static_cast<char>(status));
+  detail::append_u32(out, flags);
+  out.insert(out.end(), value.begin(), value.end());
+  return out;
+}
+
+inline std::optional<Response> decode_response(std::span<const char> payload) {
+  if (payload.size() < 5) return std::nullopt;
+  Response resp;
+  resp.status = static_cast<StatusCode>(payload[0]);
+  std::size_t pos = 1;
+  if (!detail::read_u32(payload, pos, resp.flags)) return std::nullopt;
+  resp.value = payload.subspan(pos);
+  return resp;
+}
+
+struct CounterRequest {
+  std::string_view key;
+  std::uint64_t delta = 0;
+};
+
+struct TouchRequest {
+  std::string_view key;
+  std::int64_t expiration = 0;
+};
+
+inline std::vector<char> encode_counter(std::string_view key, std::uint64_t delta) {
+  std::vector<char> out;
+  out.reserve(12 + key.size());
+  detail::append_u32(out, static_cast<std::uint32_t>(key.size()));
+  detail::append_i64(out, static_cast<std::int64_t>(delta));
+  out.insert(out.end(), key.begin(), key.end());
+  return out;
+}
+
+inline std::optional<CounterRequest> decode_counter(std::span<const char> payload) {
+  std::size_t pos = 0;
+  std::uint32_t key_len = 0;
+  std::int64_t delta = 0;
+  if (!detail::read_u32(payload, pos, key_len)) return std::nullopt;
+  if (!detail::read_i64(payload, pos, delta)) return std::nullopt;
+  if (pos + key_len != payload.size()) return std::nullopt;
+  return CounterRequest{std::string_view(payload.data() + pos, key_len),
+                        static_cast<std::uint64_t>(delta)};
+}
+
+inline std::vector<char> encode_touch(std::string_view key, std::int64_t expiration) {
+  std::vector<char> out;
+  out.reserve(12 + key.size());
+  detail::append_u32(out, static_cast<std::uint32_t>(key.size()));
+  detail::append_i64(out, expiration);
+  out.insert(out.end(), key.begin(), key.end());
+  return out;
+}
+
+inline std::optional<TouchRequest> decode_touch(std::span<const char> payload) {
+  std::size_t pos = 0;
+  std::uint32_t key_len = 0;
+  TouchRequest req;
+  if (!detail::read_u32(payload, pos, key_len)) return std::nullopt;
+  if (!detail::read_i64(payload, pos, req.expiration)) return std::nullopt;
+  if (pos + key_len != payload.size()) return std::nullopt;
+  req.key = std::string_view(payload.data() + pos, key_len);
+  return req;
+}
+
+struct CasRequest {
+  std::string_view key;
+  std::span<const char> value;
+  std::uint32_t flags = 0;
+  std::int64_t expiration = 0;
+  std::uint64_t cas = 0;
+};
+
+inline std::vector<char> encode_cas(const CasRequest& req) {
+  std::vector<char> out;
+  out.reserve(24 + req.key.size() + req.value.size());
+  detail::append_u32(out, static_cast<std::uint32_t>(req.key.size()));
+  detail::append_u32(out, req.flags);
+  detail::append_i64(out, req.expiration);
+  detail::append_i64(out, static_cast<std::int64_t>(req.cas));
+  out.insert(out.end(), req.key.begin(), req.key.end());
+  out.insert(out.end(), req.value.begin(), req.value.end());
+  return out;
+}
+
+inline std::optional<CasRequest> decode_cas(std::span<const char> payload) {
+  std::size_t pos = 0;
+  std::uint32_t key_len = 0;
+  std::int64_t cas_bits = 0;
+  CasRequest req;
+  if (!detail::read_u32(payload, pos, key_len)) return std::nullopt;
+  if (!detail::read_u32(payload, pos, req.flags)) return std::nullopt;
+  if (!detail::read_i64(payload, pos, req.expiration)) return std::nullopt;
+  if (!detail::read_i64(payload, pos, cas_bits)) return std::nullopt;
+  req.cas = static_cast<std::uint64_t>(cas_bits);
+  if (pos + key_len > payload.size()) return std::nullopt;
+  req.key = std::string_view(payload.data() + pos, key_len);
+  pos += key_len;
+  req.value = payload.subspan(pos);
+  return req;
+}
+
+/// Counter responses carry the new value as 8 LE bytes.
+inline std::vector<char> encode_counter_value(std::uint64_t value) {
+  std::vector<char> out(8);
+  std::memcpy(out.data(), &value, 8);
+  return out;
+}
+
+inline std::optional<std::uint64_t> decode_counter_value(std::span<const char> payload) {
+  if (payload.size() != 8) return std::nullopt;
+  std::uint64_t v = 0;
+  std::memcpy(&v, payload.data(), 8);
+  return v;
+}
+
+}  // namespace hykv::server

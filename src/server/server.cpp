@@ -1,0 +1,296 @@
+#include "server/server.hpp"
+
+#include <chrono>
+#include <cstring>
+
+#include "common/logging.hpp"
+#include "server/protocol.hpp"
+
+namespace hykv::server {
+
+MemcachedServer::MemcachedServer(net::Fabric& fabric, ServerConfig config,
+                                 ssd::StorageStack* storage)
+    : fabric_(fabric),
+      config_(std::move(config)),
+      endpoint_(fabric_.create_endpoint(config_.name)),
+      manager_(config_.manager, storage),
+      buffered_(config_.async_processing ? config_.request_buffer_slots : 0) {}
+
+MemcachedServer::~MemcachedServer() { stop(); }
+
+void MemcachedServer::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  threads_.emplace_back([this] { network_main(); });
+  if (config_.async_processing) {
+    for (unsigned i = 0; i < config_.processing_threads; ++i) {
+      threads_.emplace_back([this, i] { worker_main(i); });
+    }
+  }
+}
+
+void MemcachedServer::stop() {
+  bool expected = true;
+  if (!running_.compare_exchange_strong(expected, false)) return;
+  endpoint_->close();
+  buffered_.close();
+  for (auto& thread : threads_) thread.join();
+  threads_.clear();
+}
+
+void MemcachedServer::network_main() {
+  StageBreakdown local;
+  while (true) {
+    auto msg = endpoint_->recv();
+    if (!msg.ok()) break;  // endpoint closed
+    if (config_.async_processing) {
+      // Buffer the request; a full slot pool stalls this receive loop,
+      // back-pressuring clients that try to run too far ahead.
+      if (!buffered_.push(std::move(msg).value())) break;
+    } else {
+      handle(msg.value(), local);
+      const std::scoped_lock lock(metrics_mu_);
+      stages_.merge(local);
+      local.reset();
+    }
+  }
+}
+
+void MemcachedServer::worker_main(std::size_t) {
+  StageBreakdown local;
+  while (auto msg = buffered_.pop()) {
+    handle(*msg, local);
+    const std::scoped_lock lock(metrics_mu_);
+    stages_.merge(local);
+    local.reset();
+  }
+}
+
+void MemcachedServer::handle(const net::Message& request,
+                             StageBreakdown& stages) {
+  using Clock = std::chrono::steady_clock;
+  StatusCode status = StatusCode::kInvalidArgument;
+  std::uint32_t flags = 0;
+  std::vector<char> value;
+  bool has_value = false;
+
+  {
+    const std::scoped_lock lock(metrics_mu_);
+    ++counters_.requests;
+  }
+
+  switch (request.opcode) {
+    case kOpSet: {
+      const auto req = decode_set(request.payload);
+      if (req.has_value()) {
+        status = manager_.set(req->key, req->value, req->flags,
+                              req->expiration, &stages);
+        const std::scoped_lock lock(metrics_mu_);
+        ++counters_.sets;
+      } else {
+        const std::scoped_lock lock(metrics_mu_);
+        ++counters_.malformed;
+      }
+      break;
+    }
+    case kOpGet: {
+      const auto req = decode_key_request(request.payload);
+      if (req.has_value()) {
+        status = manager_.get(req->key, value, flags, &stages);
+        has_value = ok(status);
+        const std::scoped_lock lock(metrics_mu_);
+        ++counters_.gets;
+      } else {
+        const std::scoped_lock lock(metrics_mu_);
+        ++counters_.malformed;
+      }
+      break;
+    }
+    case kOpDelete: {
+      const auto req = decode_key_request(request.payload);
+      if (req.has_value()) {
+        status = manager_.del(req->key);
+        const std::scoped_lock lock(metrics_mu_);
+        ++counters_.deletes;
+      } else {
+        const std::scoped_lock lock(metrics_mu_);
+        ++counters_.malformed;
+      }
+      break;
+    }
+    case kOpAdd:
+    case kOpReplace:
+    case kOpAppend:
+    case kOpPrepend: {
+      const auto req = decode_set(request.payload);
+      if (req.has_value()) {
+        switch (request.opcode) {
+          case kOpAdd:
+            status = manager_.add(req->key, req->value, req->flags,
+                                  req->expiration, &stages);
+            break;
+          case kOpReplace:
+            status = manager_.replace(req->key, req->value, req->flags,
+                                      req->expiration, &stages);
+            break;
+          case kOpAppend:
+            status = manager_.append(req->key, req->value, &stages);
+            break;
+          default:
+            status = manager_.prepend(req->key, req->value, &stages);
+            break;
+        }
+        const std::scoped_lock lock(metrics_mu_);
+        ++counters_.sets;
+      } else {
+        const std::scoped_lock lock(metrics_mu_);
+        ++counters_.malformed;
+      }
+      break;
+    }
+    case kOpIncr:
+    case kOpDecr: {
+      const auto req = decode_counter(request.payload);
+      if (req.has_value()) {
+        const auto result = request.opcode == kOpIncr
+                                ? manager_.incr(req->key, req->delta, &stages)
+                                : manager_.decr(req->key, req->delta, &stages);
+        status = result.status();
+        if (result.ok()) {
+          value = encode_counter_value(result.value());
+          has_value = true;
+        }
+        const std::scoped_lock lock(metrics_mu_);
+        ++counters_.sets;
+      } else {
+        const std::scoped_lock lock(metrics_mu_);
+        ++counters_.malformed;
+      }
+      break;
+    }
+    case kOpTouch: {
+      const auto req = decode_touch(request.payload);
+      if (req.has_value()) {
+        status = manager_.touch(req->key, req->expiration);
+      } else {
+        const std::scoped_lock lock(metrics_mu_);
+        ++counters_.malformed;
+      }
+      break;
+    }
+    case kOpFlushAll: {
+      manager_.clear();
+      status = StatusCode::kOk;
+      break;
+    }
+    case kOpStats: {
+      value = render_stats();
+      has_value = true;
+      status = StatusCode::kOk;
+      break;
+    }
+    case kOpGets: {
+      const auto req = decode_key_request(request.payload);
+      if (req.has_value()) {
+        std::vector<char> raw;
+        std::uint64_t cas = 0;
+        status = manager_.gets(req->key, raw, flags, cas, &stages);
+        if (ok(status)) {
+          value.resize(8 + raw.size());
+          std::memcpy(value.data(), &cas, 8);
+          std::memcpy(value.data() + 8, raw.data(), raw.size());
+          has_value = true;
+        }
+        const std::scoped_lock lock(metrics_mu_);
+        ++counters_.gets;
+      } else {
+        const std::scoped_lock lock(metrics_mu_);
+        ++counters_.malformed;
+      }
+      break;
+    }
+    case kOpCas: {
+      const auto req = decode_cas(request.payload);
+      if (req.has_value()) {
+        status = manager_.cas(req->key, req->value, req->flags,
+                              req->expiration, req->cas, &stages);
+        const std::scoped_lock lock(metrics_mu_);
+        ++counters_.sets;
+      } else {
+        const std::scoped_lock lock(metrics_mu_);
+        ++counters_.malformed;
+      }
+      break;
+    }
+    default: {
+      const std::scoped_lock lock(metrics_mu_);
+      ++counters_.malformed;
+      break;
+    }
+  }
+
+  // Server response stage: format + hand to the NIC.
+  const auto response_start = Clock::now();
+  const auto payload = encode_response(
+      status, flags,
+      has_value ? std::span<const char>(value) : std::span<const char>{});
+  HYKV_DEBUG("server %llu handled wr=%llu op=%u -> status=%u",
+             static_cast<unsigned long long>(endpoint_->id()),
+             static_cast<unsigned long long>(request.wr_id), request.opcode,
+             static_cast<unsigned>(status));
+  endpoint_->send(request.src, kOpResponse, request.wr_id, payload);
+  stages.add(Stage::kServerResponse, Clock::now() - response_start);
+  stages.add_ops();
+}
+
+std::vector<char> MemcachedServer::render_stats() const {
+  const auto store = manager_.stats();
+  const auto slab = manager_.slab_stats();
+  ServerCounters c;
+  {
+    const std::scoped_lock lock(metrics_mu_);
+    c = counters_;
+  }
+  char buf[1024];
+  const int len = std::snprintf(
+      buf, sizeof(buf),
+      "requests %llu\nsets %llu\ngets %llu\ndeletes %llu\nmalformed %llu\n"
+      "items %zu\nram_hits %llu\nssd_hits %llu\nmisses %llu\nexpired %llu\n"
+      "flushes %llu\nflushed_bytes %llu\npromotions %llu\n"
+      "dropped_evictions %llu\nssd_live_bytes %llu\n"
+      "slab_pages %zu\nslab_reserved_bytes %zu\nslab_used_chunks %zu\n",
+      static_cast<unsigned long long>(c.requests),
+      static_cast<unsigned long long>(c.sets),
+      static_cast<unsigned long long>(c.gets),
+      static_cast<unsigned long long>(c.deletes),
+      static_cast<unsigned long long>(c.malformed), manager_.item_count(),
+      static_cast<unsigned long long>(store.ram_hits),
+      static_cast<unsigned long long>(store.ssd_hits),
+      static_cast<unsigned long long>(store.misses),
+      static_cast<unsigned long long>(store.expired),
+      static_cast<unsigned long long>(store.flushes),
+      static_cast<unsigned long long>(store.flushed_bytes),
+      static_cast<unsigned long long>(store.promotions),
+      static_cast<unsigned long long>(store.dropped_evictions),
+      static_cast<unsigned long long>(store.ssd_live_bytes), slab.slab_pages,
+      slab.reserved_bytes, slab.used_chunks);
+  return {buf, buf + (len > 0 ? len : 0)};
+}
+
+StageBreakdown MemcachedServer::breakdown() const {
+  const std::scoped_lock lock(metrics_mu_);
+  return stages_;
+}
+
+ServerCounters MemcachedServer::counters() const {
+  const std::scoped_lock lock(metrics_mu_);
+  return counters_;
+}
+
+void MemcachedServer::reset_metrics() {
+  const std::scoped_lock lock(metrics_mu_);
+  stages_.reset();
+  counters_ = ServerCounters{};
+}
+
+}  // namespace hykv::server

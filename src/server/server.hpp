@@ -1,0 +1,100 @@
+// The Memcached server runtime.
+//
+// Two request-handling modes, mirroring Section V-B of the paper:
+//
+//   synchronous (async_processing=false) -- the classic pipeline: the network
+//     thread receives a request, runs the full slab/LRU/SSD pipeline inline,
+//     then responds. This is how IPoIB-Mem, RDMA-Mem, H-RDMA-Def and
+//     H-RDMA-Opt-Block servers behave: a slow SSD flush stalls the pipeline
+//     and every queued client feels it.
+//
+//   asynchronous (async_processing=true) -- the "enhanced" server for the
+//     non-blocking APIs: the network thread only *buffers* requests (bounded
+//     slot pool) and hands them to processing workers; the expensive hybrid
+//     memory/SSD phase runs off the receive path and the response is sent on
+//     completion (the dotted-green path in Fig. 3). When the slot pool is
+//     full the receive loop stalls -- the backpressure that bounds how far a
+//     bursty non-blocking client can run ahead of a busy server.
+//
+// Per-stage wall time is attributed to the paper's stage taxonomy and can be
+// harvested with breakdown() for Fig. 2 / Fig. 6.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/queue.hpp"
+#include "common/stage.hpp"
+#include "net/fabric.hpp"
+#include "ssd/io_engine.hpp"
+#include "store/hybrid_manager.hpp"
+
+namespace hykv::server {
+
+struct ServerConfig {
+  std::string name = "memcached";
+  store::ManagerConfig manager{};
+  bool async_processing = false;
+  unsigned processing_threads = 1;      ///< Async mode worker count.
+  std::size_t request_buffer_slots = 16;///< Async mode buffered-request bound.
+};
+
+struct ServerCounters {
+  std::uint64_t requests = 0;
+  std::uint64_t sets = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t malformed = 0;
+};
+
+class MemcachedServer {
+ public:
+  /// `storage` may be nullptr iff the manager mode is kInMemory. The server
+  /// owns an endpoint on `fabric`; start() spawns its threads.
+  MemcachedServer(net::Fabric& fabric, ServerConfig config,
+                  ssd::StorageStack* storage);
+  ~MemcachedServer();
+
+  MemcachedServer(const MemcachedServer&) = delete;
+  MemcachedServer& operator=(const MemcachedServer&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] net::EndpointId endpoint_id() const { return endpoint_->id(); }
+  [[nodiscard]] const std::string& name() const noexcept { return config_.name; }
+
+  /// Merged per-stage server-side time (SlabAllocation, CacheCheck+Load,
+  /// CacheUpdate, ServerResponse).
+  [[nodiscard]] StageBreakdown breakdown() const;
+  [[nodiscard]] ServerCounters counters() const;
+  [[nodiscard]] store::ManagerStats store_stats() const { return manager_.stats(); }
+  [[nodiscard]] store::HybridSlabManager& manager() noexcept { return manager_; }
+
+  void reset_metrics();
+
+ private:
+  void network_main();
+  void worker_main(std::size_t worker_index);
+  void handle(const net::Message& request, StageBreakdown& stages);
+  /// memcached "stats": human-readable "name value" lines.
+  [[nodiscard]] std::vector<char> render_stats() const;
+
+  net::Fabric& fabric_;
+  ServerConfig config_;
+  std::shared_ptr<net::Endpoint> endpoint_;
+  store::HybridSlabManager manager_;
+
+  BlockingQueue<net::Message> buffered_;  ///< Async mode slot pool.
+  std::vector<std::thread> threads_;
+  std::atomic<bool> running_{false};
+
+  mutable std::mutex metrics_mu_;
+  StageBreakdown stages_;
+  ServerCounters counters_;
+};
+
+}  // namespace hykv::server

@@ -1,0 +1,86 @@
+// Asynchronous SSD I/O queue -- the paper's §VII future work ("we plan on
+// exploring the benefits of employing asynchronous SSD I/O").
+//
+// Models a libaio/io_uring-style interface over the simulated device: a
+// bounded submission queue, worker threads that pay the device time, and
+// per-operation completion callbacks. On multi-channel devices (NVMe) a
+// queue depth > 1 exposes internal parallelism that the synchronous engines
+// cannot reach; on single-channel SATA it degrades gracefully to pipelining
+// submission against one in-flight access.
+//
+// Data semantics mirror the synchronous engines: writes snapshot the buffer
+// at submission (the caller may reuse it immediately), reads fill the
+// caller's buffer before the completion fires.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/queue.hpp"
+#include "common/status.hpp"
+#include "ssd/device.hpp"
+
+namespace hykv::ssd {
+
+struct AsyncIoStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+};
+
+class AsyncSsdQueue {
+ public:
+  using Completion = std::function<void(StatusCode)>;
+
+  /// `workers` concurrent operations are serviced at once (the effective
+  /// queue depth); `submission_slots` bounds how far submitters may run
+  /// ahead of completions before submit blocks (0 = unbounded).
+  AsyncSsdQueue(SsdDevice& device, unsigned workers = 4,
+                std::size_t submission_slots = 64);
+  ~AsyncSsdQueue();
+
+  AsyncSsdQueue(const AsyncSsdQueue&) = delete;
+  AsyncSsdQueue& operator=(const AsyncSsdQueue&) = delete;
+
+  /// Queues a write. The data is snapshotted; the buffer is reusable on
+  /// return. Returns kShutdown after shutdown began.
+  StatusCode submit_write(ExtentId id, std::size_t offset,
+                          std::span<const char> data, Completion on_done = {});
+
+  /// Queues a read into `out`, which must stay valid until the completion
+  /// fires. Returns kShutdown after shutdown began.
+  StatusCode submit_read(ExtentId id, std::size_t offset, std::span<char> out,
+                         Completion on_done = {});
+
+  /// Blocks until every submitted operation has completed.
+  void drain();
+
+  [[nodiscard]] AsyncIoStats stats() const;
+  [[nodiscard]] std::size_t in_flight() const;
+
+ private:
+  struct Op {
+    bool is_write = false;
+    ExtentId id = kInvalidExtent;
+    std::size_t offset = 0;
+    std::vector<char> data;   ///< Write payload snapshot.
+    std::span<char> out{};    ///< Read destination.
+    Completion on_done;
+  };
+
+  void worker_main();
+
+  SsdDevice& device_;
+  BlockingQueue<Op> queue_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable drained_cv_;
+  std::size_t in_flight_ = 0;
+  AsyncIoStats stats_;
+};
+
+}  // namespace hykv::ssd

@@ -1,0 +1,281 @@
+#include "ssd/page_cache.hpp"
+
+#include <algorithm>
+
+#include "common/sim_time.hpp"
+
+namespace hykv::ssd {
+
+PageCache::PageCache(SsdDevice& device, PageCacheConfig config)
+    : device_(device), config_(config), flusher_([this] { flusher_main(); }) {}
+
+PageCache::~PageCache() {
+  {
+    const std::scoped_lock lock(mu_);
+    stop_ = true;
+  }
+  dirty_cv_.notify_all();
+  clean_cv_.notify_all();
+  flusher_.join();
+}
+
+void PageCache::touch_lru_locked(ExtentId id, Entry& entry) {
+  if (entry.in_lru) lru_.erase(entry.lru_pos);
+  lru_.push_front(id);
+  entry.lru_pos = lru_.begin();
+  entry.in_lru = true;
+}
+
+void PageCache::make_room_locked(std::unique_lock<std::mutex>& lock,
+                                 std::size_t need) {
+  (void)lock;
+  while (resident_bytes_ + need > config_.memory_limit && !lru_.empty()) {
+    // Evict from the LRU tail, skipping dirty entries (not evictable until
+    // written back). If everything cached is dirty we simply exceed the
+    // limit transiently -- the throttle bounds how far.
+    auto it = std::prev(lru_.end());
+    bool evicted = false;
+    while (true) {
+      Entry& victim = entries_.at(*it);
+      if (victim.dirty == 0) {
+        victim.resident = false;
+        victim.in_lru = false;
+        resident_bytes_ -= victim.size;
+        ++stats_.evictions;
+        lru_.erase(it);
+        evicted = true;
+        break;
+      }
+      if (it == lru_.begin()) break;
+      --it;
+    }
+    if (!evicted) break;
+  }
+}
+
+void PageCache::charge_write_path(std::size_t offset, std::span<const char> data,
+                                  ExtentId id, bool via_mmap) {
+  const auto& host = config_.host;
+  sim::Nanos cost = host.copy_time(data.size());
+  bool first_map = false;
+  if (via_mmap) {
+    {
+      const std::scoped_lock lock(mu_);
+      auto it = entries_.find(id);
+      first_map = (it == entries_.end() || !it->second.mmap_mapped);
+    }
+    cost += host.page_touch * static_cast<std::int64_t>(host.pages(data.size()));
+    if (first_map) cost += host.mmap_setup;
+  } else {
+    cost += host.syscall_overhead;
+  }
+  (void)offset;
+  sim::advance(cost);
+}
+
+StatusCode PageCache::write(ExtentId id, std::size_t offset,
+                            std::span<const char> data) {
+  charge_write_path(offset, data, id, /*via_mmap=*/false);
+  const StatusCode code = device_.write_raw(id, offset, data);
+  if (!ok(code)) return code;
+
+  std::unique_lock lock(mu_);
+  Entry& entry = entries_[id];
+  entry.size = device_.extent_size(id);
+  if (offset == 0 && data.size() == entry.size && !entry.resident) {
+    entry.resident = true;
+    resident_bytes_ += entry.size;
+  }
+  if (entry.resident) touch_lru_locked(id, entry);
+  const bool was_clean = entry.dirty == 0;
+  entry.dirty += data.size();
+  dirty_bytes_ += data.size();
+  if (was_clean) dirty_fifo_.push_back(id);
+  make_room_locked(lock, 0);
+  dirty_cv_.notify_one();
+
+  if (dirty_bytes_ > config_.dirty_high_watermark) {
+    const auto start = sim::now();
+    clean_cv_.wait(lock, [&] {
+      return stop_ || dirty_bytes_ <= config_.dirty_low_watermark;
+    });
+    stats_.throttled_ns +=
+        static_cast<std::uint64_t>((sim::now() - start).count());
+  }
+  return StatusCode::kOk;
+}
+
+StatusCode PageCache::mmap_write(ExtentId id, std::size_t offset,
+                                 std::span<const char> data) {
+  charge_write_path(offset, data, id, /*via_mmap=*/true);
+  const StatusCode code = device_.write_raw(id, offset, data);
+  if (!ok(code)) return code;
+
+  std::unique_lock lock(mu_);
+  Entry& entry = entries_[id];
+  entry.size = device_.extent_size(id);
+  entry.mmap_mapped = true;
+  if (offset == 0 && data.size() == entry.size && !entry.resident) {
+    entry.resident = true;
+    resident_bytes_ += entry.size;
+  }
+  if (entry.resident) touch_lru_locked(id, entry);
+  const bool was_clean = entry.dirty == 0;
+  entry.dirty += data.size();
+  dirty_bytes_ += data.size();
+  if (was_clean) dirty_fifo_.push_back(id);
+  make_room_locked(lock, 0);
+  dirty_cv_.notify_one();
+
+  if (dirty_bytes_ > config_.dirty_high_watermark) {
+    const auto start = sim::now();
+    clean_cv_.wait(lock, [&] {
+      return stop_ || dirty_bytes_ <= config_.dirty_low_watermark;
+    });
+    stats_.throttled_ns +=
+        static_cast<std::uint64_t>((sim::now() - start).count());
+  }
+  return StatusCode::kOk;
+}
+
+StatusCode PageCache::read(ExtentId id, std::size_t offset, std::span<char> out) {
+  bool hit;
+  {
+    std::unique_lock lock(mu_);
+    auto it = entries_.find(id);
+    hit = it != entries_.end() && it->second.resident;
+    if (hit) {
+      touch_lru_locked(id, it->second);
+      ++stats_.hits;
+    } else {
+      ++stats_.misses;
+    }
+  }
+  if (hit) {
+    sim::advance(config_.host.syscall_overhead + config_.host.copy_time(out.size()));
+    return device_.read_raw(id, offset, out);
+  }
+  sim::advance(config_.host.syscall_overhead);
+  device_.occupy_read(out.size());
+  const StatusCode code = device_.read_raw(id, offset, out);
+  if (!ok(code)) return code;
+  std::unique_lock lock(mu_);
+  Entry& entry = entries_[id];
+  entry.size = device_.extent_size(id);
+  if (offset == 0 && out.size() == entry.size && !entry.resident) {
+    entry.resident = true;
+    resident_bytes_ += entry.size;
+    touch_lru_locked(id, entry);
+    make_room_locked(lock, 0);
+  }
+  return StatusCode::kOk;
+}
+
+StatusCode PageCache::mmap_read(ExtentId id, std::size_t offset,
+                                std::span<char> out) {
+  bool hit;
+  bool first_map;
+  {
+    std::unique_lock lock(mu_);
+    auto it = entries_.find(id);
+    hit = it != entries_.end() && it->second.resident;
+    first_map = it == entries_.end() || !it->second.mmap_mapped;
+    if (hit) {
+      touch_lru_locked(id, it->second);
+      ++stats_.hits;
+    } else {
+      ++stats_.misses;
+    }
+  }
+  if (hit) {
+    sim::advance(config_.host.copy_time(out.size()) +
+                 (first_map ? config_.host.mmap_setup : sim::Nanos{0}));
+    std::unique_lock lock(mu_);
+    entries_[id].mmap_mapped = true;
+    lock.unlock();
+    return device_.read_raw(id, offset, out);
+  }
+  // Major fault: device read for the touched pages.
+  if (first_map) sim::advance(config_.host.mmap_setup);
+  device_.occupy_read(out.size());
+  const StatusCode code = device_.read_raw(id, offset, out);
+  if (!ok(code)) return code;
+  std::unique_lock lock(mu_);
+  Entry& entry = entries_[id];
+  entry.size = device_.extent_size(id);
+  entry.mmap_mapped = true;
+  if (offset == 0 && out.size() == entry.size && !entry.resident) {
+    entry.resident = true;
+    resident_bytes_ += entry.size;
+    touch_lru_locked(id, entry);
+    make_room_locked(lock, 0);
+  }
+  return StatusCode::kOk;
+}
+
+void PageCache::invalidate(ExtentId id) {
+  const std::scoped_lock lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  Entry& entry = it->second;
+  if (entry.dirty > 0) {
+    dirty_bytes_ -= entry.dirty;
+    dirty_fifo_.remove(id);
+    clean_cv_.notify_all();
+  }
+  if (entry.resident) {
+    resident_bytes_ -= entry.size;
+    if (entry.in_lru) lru_.erase(entry.lru_pos);
+  }
+  entries_.erase(it);
+}
+
+void PageCache::sync() {
+  std::unique_lock lock(mu_);
+  clean_cv_.wait(lock, [&] { return stop_ || dirty_bytes_ == 0; });
+}
+
+bool PageCache::resident(ExtentId id) const {
+  const std::scoped_lock lock(mu_);
+  auto it = entries_.find(id);
+  return it != entries_.end() && it->second.resident;
+}
+
+std::size_t PageCache::dirty_bytes() const {
+  const std::scoped_lock lock(mu_);
+  return dirty_bytes_;
+}
+
+PageCacheStats PageCache::stats() const {
+  const std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+void PageCache::flusher_main() {
+  std::unique_lock lock(mu_);
+  while (true) {
+    dirty_cv_.wait(lock, [&] { return stop_ || !dirty_fifo_.empty(); });
+    if (dirty_fifo_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    const ExtentId id = dirty_fifo_.front();
+    dirty_fifo_.pop_front();
+    auto it = entries_.find(id);
+    if (it == entries_.end()) continue;  // invalidated while queued
+    const std::size_t amount = it->second.dirty;
+    it->second.dirty = 0;  // re-dirtying after this point re-queues the id
+    lock.unlock();
+
+    // Pay device write latency outside the lock so writers keep making
+    // progress into the cache while write-back proceeds.
+    device_.occupy_write(amount);
+
+    lock.lock();
+    dirty_bytes_ -= std::min(dirty_bytes_, amount);
+    stats_.writeback_bytes += amount;
+    clean_cv_.notify_all();
+  }
+}
+
+}  // namespace hykv::ssd

@@ -1,0 +1,139 @@
+// Chained hash map from key bytes to an arbitrary mapped value, modelled on
+// memcached's assoc table: power-of-two buckets, jenkins one-at-a-time key
+// hash, incremental growth when the load factor exceeds 1.5.
+//
+// Header-only template so the slab manager can map keys to storage handles
+// without type erasure. Not thread-safe (the owner serialises access).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/hash.hpp"
+
+namespace hykv::store {
+
+template <typename V>
+class HashMap {
+ public:
+  explicit HashMap(std::size_t initial_buckets = 1024)
+      : buckets_(round_up_pow2(initial_buckets)) {}
+
+  HashMap(const HashMap&) = delete;
+  HashMap& operator=(const HashMap&) = delete;
+  HashMap(HashMap&&) = default;
+  HashMap& operator=(HashMap&&) = default;
+
+  /// Inserts or overwrites. Returns a reference to the mapped value.
+  V& upsert(std::string_view key, V value) {
+    maybe_grow();
+    const std::uint32_t h = jenkins_oaat(key);
+    Node* node = find_node(key, h);
+    if (node != nullptr) {
+      node->value = std::move(value);
+      return node->value;
+    }
+    auto fresh = std::make_unique<Node>();
+    fresh->key = std::string(key);
+    fresh->hash = h;
+    fresh->value = std::move(value);
+    const std::size_t index = h & (buckets_.size() - 1);
+    fresh->next = std::move(buckets_[index]);
+    buckets_[index] = std::move(fresh);
+    ++size_;
+    return buckets_[index]->value;
+  }
+
+  [[nodiscard]] V* find(std::string_view key) {
+    Node* node = find_node(key, jenkins_oaat(key));
+    return node != nullptr ? &node->value : nullptr;
+  }
+  [[nodiscard]] const V* find(std::string_view key) const {
+    return const_cast<HashMap*>(this)->find(key);
+  }
+
+  /// Removes the key; returns the mapped value if it was present.
+  std::optional<V> erase(std::string_view key) {
+    const std::uint32_t h = jenkins_oaat(key);
+    const std::size_t index = h & (buckets_.size() - 1);
+    std::unique_ptr<Node>* slot = &buckets_[index];
+    while (*slot != nullptr) {
+      if ((*slot)->hash == h && (*slot)->key == key) {
+        std::unique_ptr<Node> victim = std::move(*slot);
+        *slot = std::move(victim->next);
+        --size_;
+        return std::move(victim->value);
+      }
+      slot = &(*slot)->next;
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return buckets_.size(); }
+
+  /// Visits every (key, value&) pair; mutation of keys is not allowed.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (auto& head : buckets_) {
+      for (Node* node = head.get(); node != nullptr; node = node->next.get()) {
+        fn(std::string_view(node->key), node->value);
+      }
+    }
+  }
+
+  void clear() {
+    for (auto& head : buckets_) head.reset();
+    size_ = 0;
+  }
+
+ private:
+  struct Node {
+    std::string key;
+    std::uint32_t hash = 0;
+    V value{};
+    std::unique_ptr<Node> next;
+  };
+
+  static std::size_t round_up_pow2(std::size_t v) {
+    std::size_t p = 16;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  Node* find_node(std::string_view key, std::uint32_t h) {
+    const std::size_t index = h & (buckets_.size() - 1);
+    for (Node* node = buckets_[index].get(); node != nullptr;
+         node = node->next.get()) {
+      if (node->hash == h && node->key == key) return node;
+    }
+    return nullptr;
+  }
+
+  void maybe_grow() {
+    if (size_ < buckets_.size() + buckets_.size() / 2) return;  // load < 1.5
+    std::vector<std::unique_ptr<Node>> grown(buckets_.size() * 2);
+    for (auto& head : buckets_) {
+      while (head != nullptr) {
+        std::unique_ptr<Node> node = std::move(head);
+        head = std::move(node->next);
+        const std::size_t index = node->hash & (grown.size() - 1);
+        node->next = std::move(grown[index]);
+        grown[index] = std::move(node);
+      }
+    }
+    buckets_ = std::move(grown);
+  }
+
+  std::vector<std::unique_ptr<Node>> buckets_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hykv::store

@@ -1,0 +1,677 @@
+#include "store/hybrid_manager.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "common/hash.hpp"
+#include "common/logging.hpp"
+
+namespace hykv::store {
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+void put_u32(char* dst, std::uint32_t v) { std::memcpy(dst, &v, 4); }
+void put_i64(char* dst, std::int64_t v) { std::memcpy(dst, &v, 8); }
+
+}  // namespace
+
+std::int64_t steady_seconds() noexcept {
+  static const SteadyClock::time_point start = SteadyClock::now();
+  return std::chrono::duration_cast<std::chrono::seconds>(SteadyClock::now() -
+                                                          start)
+      .count();
+}
+
+void HybridSlabManager::ExtentHandle::mark_ready() {
+  {
+    const std::scoped_lock lock(mu);
+    ready = true;
+  }
+  cv.notify_all();
+}
+
+void HybridSlabManager::ExtentHandle::wait_ready() {
+  std::unique_lock lock(mu);
+  cv.wait(lock, [&] { return ready; });
+}
+
+HybridSlabManager::ExtentHandle::~ExtentHandle() {
+  if (storage != nullptr && id != ssd::kInvalidExtent) {
+    storage->cache().invalidate(id);
+    storage->device().free(id);
+  }
+}
+
+HybridSlabManager::HybridSlabManager(ManagerConfig config,
+                                     ssd::StorageStack* storage)
+    : config_(config), storage_(storage), slabs_(config.slab) {
+  assert(config_.mode == StorageMode::kInMemory || storage_ != nullptr);
+  lru_.resize(slabs_.num_classes());
+}
+
+HybridSlabManager::~HybridSlabManager() = default;
+
+bool HybridSlabManager::expired(std::int64_t expiry) const noexcept {
+  return expiry != 0 && steady_seconds() >= expiry;
+}
+
+ssd::IoScheme HybridSlabManager::scheme_for_class(unsigned cls) const noexcept {
+  if (config_.io_policy == IoPolicy::kDirectAll) return ssd::IoScheme::kDirect;
+  return slabs_.chunk_size(cls) <= config_.adaptive_threshold
+             ? ssd::IoScheme::kMmap
+             : ssd::IoScheme::kCached;
+}
+
+void HybridSlabManager::unlink_ram_item(ItemHeader* item) {
+  lru_[item->slab_class].remove(item);
+  slabs_.deallocate(reinterpret_cast<char*>(item), item->slab_class);
+}
+
+void HybridSlabManager::release_record_locked(
+    const std::shared_ptr<SsdRecord>& record) {
+  const std::size_t bytes =
+      SsdItemFraming::record_size(record->key_len, record->value_len);
+  stats_.ssd_live_bytes -= std::min<std::uint64_t>(stats_.ssd_live_bytes, bytes);
+}
+
+bool HybridSlabManager::drop_one(unsigned cls) {
+  ItemHeader* victim = lru_[cls].tail();
+  if (victim == nullptr) return false;
+  const std::string key(victim->key());
+  unlink_ram_item(victim);
+  index_.erase(key);
+  ++stats_.dropped_evictions;
+  return true;
+}
+
+bool HybridSlabManager::flush_batch(unsigned cls,
+                                    std::unique_lock<std::mutex>& lock) {
+  assert(lock.owns_lock());
+  if (lru_[cls].empty()) return false;
+
+  // 1. Collect LRU-tail victims until the batch is full (<= one slab page).
+  struct Victim {
+    std::string key;
+    std::uint32_t record_offset;
+  };
+  std::vector<char> staging;
+  staging.reserve(config_.flush_batch_bytes);
+  std::vector<Victim> victims;
+  std::vector<std::shared_ptr<SsdRecord>> records;
+
+  const ssd::IoScheme scheme = scheme_for_class(cls);
+  while (ItemHeader* item = lru_[cls].tail()) {
+    const std::size_t rec_size =
+        SsdItemFraming::record_size(item->key_len, item->value_len);
+    if (!victims.empty() &&
+        staging.size() + rec_size > config_.flush_batch_bytes) {
+      break;
+    }
+    const auto offset = static_cast<std::uint32_t>(staging.size());
+    staging.resize(staging.size() + rec_size);
+    char* p = staging.data() + offset;
+    const std::uint32_t crc = crc32c(static_cast<const void*>(item->value_data()), item->value_len);
+    put_u32(p, item->key_len);
+    put_u32(p + 4, item->value_len);
+    put_u32(p + 8, item->flags);
+    put_u32(p + 12, crc);
+    put_i64(p + 16, item->expiry);
+    std::memcpy(p + SsdItemFraming::kHeaderBytes, item->key_data(),
+                item->key_len);
+    std::memcpy(p + SsdItemFraming::kHeaderBytes + item->key_len,
+                item->value_data(), item->value_len);
+
+    auto record = std::make_shared<SsdRecord>();
+    record->record_offset = offset;
+    record->key_len = item->key_len;
+    record->value_len = item->value_len;
+    record->flags = item->flags;
+    record->value_crc = crc;
+    record->expiry = item->expiry;
+    record->cas = item->cas;
+    record->scheme = scheme;
+    records.push_back(std::move(record));
+    victims.push_back(Victim{std::string(item->key()), offset});
+    // Detach the RAM presence before the chunk returns to the free list so
+    // the index never holds a dangling item pointer.
+    Entry* entry = index_.find(victims.back().key);
+    assert(entry != nullptr && entry->ram == item);
+    entry->ram = nullptr;
+    unlink_ram_item(item);
+  }
+
+  // 2. Reserve the SSD extent; on failure fall back to dropping the victims
+  //    (data loss, like the in-memory design -- counted, never silent).
+  const bool over_limit =
+      config_.ssd_limit != 0 &&
+      stats_.ssd_live_bytes + staging.size() > config_.ssd_limit;
+  Result<ssd::ExtentId> extent =
+      over_limit ? Result<ssd::ExtentId>(StatusCode::kOutOfMemory)
+                 : storage_->device().allocate(staging.size());
+  if (!extent.ok()) {
+    for (const auto& victim : victims) index_.erase(victim.key);
+    stats_.dropped_evictions += victims.size();
+    HYKV_WARN("SSD full: dropped %zu items (%zu bytes)", victims.size(),
+              staging.size());
+    return true;  // chunks were freed; allocation can proceed
+  }
+
+  auto handle = std::make_shared<ExtentHandle>();
+  handle->storage = storage_;
+  handle->id = extent.value();
+  handle->bytes = staging.size();
+
+  // 3. Point the index entries at the (not yet durable) SSD records.
+  for (std::size_t i = 0; i < victims.size(); ++i) {
+    records[i]->extent = handle;
+    Entry* entry = index_.find(victims[i].key);
+    assert(entry != nullptr && entry->ram == nullptr);
+    if (entry != nullptr) entry->ssd = records[i];
+  }
+  ++stats_.flushes;
+  stats_.flushed_items += victims.size();
+  stats_.flushed_bytes += staging.size();
+  stats_.ssd_live_bytes += staging.size();
+
+  // 4. Write outside the lock; readers of these records wait on ready.
+  lock.unlock();
+  const StatusCode code =
+      storage_->engine(scheme).write(handle->id, 0, staging);
+  if (!ok(code)) {
+    HYKV_ERROR("flush write failed: %.*s",
+               static_cast<int>(to_string(code).size()), to_string(code).data());
+  }
+  handle->mark_ready();
+  lock.lock();
+  return true;
+}
+
+char* HybridSlabManager::allocate_with_reclaim(
+    unsigned cls, std::unique_lock<std::mutex>& lock) {
+  for (int attempt = 0; attempt < 4096; ++attempt) {
+    char* chunk = slabs_.allocate(cls);
+    if (chunk != nullptr) return chunk;
+    if (config_.mode == StorageMode::kInMemory) {
+      if (!drop_one(cls)) return nullptr;
+    } else {
+      if (!flush_batch(cls, lock)) {
+        // Nothing left to flush in this class (slab calcification): fail the
+        // store rather than stealing carved pages from other classes.
+        return nullptr;
+      }
+    }
+  }
+  return nullptr;
+}
+
+StatusCode HybridSlabManager::set(std::string_view key,
+                                  std::span<const char> value,
+                                  std::uint32_t flags, std::int64_t expiration,
+                                  StageBreakdown* stages) {
+  if (key.empty()) return StatusCode::kInvalidArgument;
+  const std::size_t total = item_total_size(key.size(), value.size());
+  const unsigned cls = slabs_.class_for(total);
+  if (cls == kInvalidClass) return StatusCode::kInvalidArgument;
+  const std::int64_t expiry =
+      expiration == 0 ? 0 : steady_seconds() + expiration;
+
+  std::unique_lock lock(mu_);
+
+  // Fast path: overwrite in place when the existing RAM item lives in the
+  // same slab class and the key matches -- the common hot-key update. No
+  // allocation, no flush churn; memcached-grade stores optimise this case
+  // and without it a write-heavy Zipf workload would evict on every update.
+  {
+    const auto check_start = SteadyClock::now();
+    Entry* hot = index_.find(key);
+    if (hot != nullptr && hot->ram != nullptr && hot->ram->slab_class == cls &&
+        hot->ram->key_len == key.size()) {
+      ItemHeader* item = hot->ram;
+      if (stages != nullptr) {
+        stages->add(Stage::kCacheCheckLoad, SteadyClock::now() - check_start);
+      }
+      const auto update_start = SteadyClock::now();
+      item->value_len = static_cast<std::uint32_t>(value.size());
+      item->flags = flags;
+      item->expiry = expiry;
+      item->cas = cas_seq_++;
+      if (!value.empty()) {
+        std::memcpy(item->value_data(), value.data(), value.size());
+      }
+      lru_[cls].move_to_front(item);
+      ++stats_.sets;
+      if (stages != nullptr) {
+        stages->add(Stage::kCacheUpdate, SteadyClock::now() - update_start);
+      }
+      return StatusCode::kOk;
+    }
+  }
+
+  // Slab allocation (including any flush/eviction it triggers).
+  const auto alloc_start = SteadyClock::now();
+  char* chunk = allocate_with_reclaim(cls, lock);
+  if (stages != nullptr) {
+    stages->add(Stage::kSlabAllocation, SteadyClock::now() - alloc_start);
+  }
+  if (chunk == nullptr) return StatusCode::kOutOfMemory;
+
+  // Cache check: displace any previous version of the key. (The entry must
+  // be re-looked-up here: the lock may have been dropped during a flush.)
+  const auto check_start = SteadyClock::now();
+  Entry* existing = index_.find(key);
+  if (existing != nullptr) {
+    if (existing->ram != nullptr) unlink_ram_item(existing->ram);
+    if (existing->ssd != nullptr) release_record_locked(existing->ssd);
+  }
+  if (stages != nullptr) {
+    stages->add(Stage::kCacheCheckLoad, SteadyClock::now() - check_start);
+  }
+
+  // Cache update: format the item, (re)index it, promote to LRU head.
+  const auto update_start = SteadyClock::now();
+  ItemHeader* item = format_item(chunk, key, value, flags, expiry, cls);
+  item->cas = cas_seq_++;
+  if (existing != nullptr) {
+    existing->ram = item;
+    existing->ssd.reset();
+  } else {
+    index_.upsert(key, Entry{.ram = item, .ssd = nullptr});
+  }
+  lru_[cls].push_front(item);
+  ++stats_.sets;
+  if (stages != nullptr) {
+    stages->add(Stage::kCacheUpdate, SteadyClock::now() - update_start);
+  }
+  return StatusCode::kOk;
+}
+
+StatusCode HybridSlabManager::get(std::string_view key, std::vector<char>& out,
+                                  std::uint32_t& flags,
+                                  StageBreakdown* stages) {
+  std::unique_lock lock(mu_);
+  const auto check_start = SteadyClock::now();
+  auto charge_check = [&] {
+    if (stages != nullptr) {
+      stages->add(Stage::kCacheCheckLoad, SteadyClock::now() - check_start);
+    }
+  };
+
+  Entry* entry = index_.find(key);
+  if (entry == nullptr) {
+    ++stats_.misses;
+    charge_check();
+    return StatusCode::kNotFound;
+  }
+
+  // RAM hit.
+  if (entry->ram != nullptr) {
+    ItemHeader* item = entry->ram;
+    if (expired(item->expiry)) {
+      unlink_ram_item(item);
+      index_.erase(key);
+      ++stats_.expired;
+      ++stats_.misses;
+      charge_check();
+      return StatusCode::kNotFound;
+    }
+    out.assign(item->value_data(), item->value_data() + item->value_len);
+    flags = item->flags;
+    ++stats_.ram_hits;
+    charge_check();
+    const auto update_start = SteadyClock::now();
+    lru_[item->slab_class].move_to_front(item);
+    if (stages != nullptr) {
+      stages->add(Stage::kCacheUpdate, SteadyClock::now() - update_start);
+    }
+    return StatusCode::kOk;
+  }
+
+  // SSD hit: pin the record, drop the lock, read from flash.
+  std::shared_ptr<SsdRecord> record = entry->ssd;
+  assert(record != nullptr);
+  if (expired(record->expiry)) {
+    release_record_locked(record);
+    index_.erase(key);
+    ++stats_.expired;
+    ++stats_.misses;
+    charge_check();
+    return StatusCode::kNotFound;
+  }
+  lock.unlock();
+
+  record->extent->wait_ready();
+  out.resize(record->value_len);
+  const std::size_t value_offset = record->record_offset +
+                                   SsdItemFraming::kHeaderBytes +
+                                   record->key_len;
+  const StatusCode code = storage_->engine(record->scheme)
+                              .read(record->extent->id, value_offset, out);
+  if (record->scheme == ssd::IoScheme::kDirect) {
+    // H-RDMA-Def swap-in reads the slab from the item's offset onward
+    // (Ouyang'12 slab-granular layout): fetching one item streams in the
+    // rest of its flushed slab -- on average half a slab of read
+    // amplification. The adaptive designs read item-granular through their
+    // page-cache-backed engines instead, a large part of this paper's win
+    // on the Get path.
+    const std::size_t read_total = record->extent->bytes - record->record_offset;
+    if (read_total > out.size()) {
+      storage_->device().occupy_read(read_total - out.size());
+    }
+  }
+  flags = record->flags;
+  charge_check();  // SSD load is part of "Cache Check and Load"
+
+  lock.lock();
+  if (!ok(code)) {
+    ++stats_.misses;
+    return StatusCode::kServerError;
+  }
+  if (crc32c(static_cast<const void*>(out.data()), out.size()) != record->value_crc) {
+    ++stats_.checksum_failures;
+    ++stats_.misses;
+    return StatusCode::kServerError;
+  }
+  ++stats_.ssd_hits;
+
+  // Promotion back to RAM.
+  //  - Opportunistic (promote_on_hit): only when a chunk is free -- the
+  //    optimised designs; promotion never causes flush churn.
+  //  - Forced (force_promote): swap-in semantics -- allocate even if that
+  //    means flushing other items first (H-RDMA-Def; this is why its Gets
+  //    from SSD are so expensive).
+  if (config_.promote_on_hit || config_.force_promote) {
+    const auto update_start = SteadyClock::now();
+    const std::size_t total = item_total_size(key.size(), out.size());
+    const unsigned cls = slabs_.class_for(total);
+    char* chunk = nullptr;
+    if (cls != kInvalidClass) {
+      if (config_.force_promote) {
+        // May drop and re-acquire the lock around a flush; the allocation
+        // cost (incl. flush) is slab-management work on the Get path.
+        const auto alloc_start = SteadyClock::now();
+        chunk = allocate_with_reclaim(cls, lock);
+        if (stages != nullptr) {
+          stages->add(Stage::kSlabAllocation, SteadyClock::now() - alloc_start);
+        }
+      } else if (slabs_.can_allocate(cls)) {
+        chunk = slabs_.allocate(cls);
+      }
+    }
+    if (chunk != nullptr) {
+      // Re-validate: the lock may have been dropped during a flush and the
+      // key overwritten/deleted meanwhile.
+      Entry* current = index_.find(key);
+      if (current != nullptr && current->ssd == record) {
+        ItemHeader* item =
+            format_item(chunk, key, out, record->flags, record->expiry, cls);
+        item->cas = record->cas;  // promotion is relocation, not mutation
+        release_record_locked(current->ssd);
+        current->ram = item;
+        current->ssd.reset();
+        lru_[cls].push_front(item);
+        ++stats_.promotions;
+      } else {
+        slabs_.deallocate(chunk, cls);
+      }
+    }
+    if (stages != nullptr) {
+      stages->add(Stage::kCacheUpdate, SteadyClock::now() - update_start);
+    }
+  }
+  return StatusCode::kOk;
+}
+
+StatusCode HybridSlabManager::add(std::string_view key,
+                                  std::span<const char> value,
+                                  std::uint32_t flags, std::int64_t expiration,
+                                  StageBreakdown* stages) {
+  if (exists(key)) return StatusCode::kNotStored;
+  // Benign TOCTOU with concurrent setters: a racing set simply wins, which
+  // matches memcached's last-writer semantics under its coarse lock.
+  return set(key, value, flags, expiration, stages);
+}
+
+StatusCode HybridSlabManager::replace(std::string_view key,
+                                      std::span<const char> value,
+                                      std::uint32_t flags,
+                                      std::int64_t expiration,
+                                      StageBreakdown* stages) {
+  if (!exists(key)) return StatusCode::kNotStored;
+  return set(key, value, flags, expiration, stages);
+}
+
+StatusCode HybridSlabManager::append(std::string_view key,
+                                     std::span<const char> suffix,
+                                     StageBreakdown* stages) {
+  std::vector<char> current;
+  std::uint32_t flags = 0;
+  const StatusCode code = get(key, current, flags, stages);
+  if (!ok(code)) {
+    return code == StatusCode::kNotFound ? StatusCode::kNotStored : code;
+  }
+  current.insert(current.end(), suffix.begin(), suffix.end());
+  return set(key, current, flags, 0, stages);
+}
+
+StatusCode HybridSlabManager::prepend(std::string_view key,
+                                      std::span<const char> prefix,
+                                      StageBreakdown* stages) {
+  std::vector<char> current;
+  std::uint32_t flags = 0;
+  const StatusCode code = get(key, current, flags, stages);
+  if (!ok(code)) {
+    return code == StatusCode::kNotFound ? StatusCode::kNotStored : code;
+  }
+  current.insert(current.begin(), prefix.begin(), prefix.end());
+  return set(key, current, flags, 0, stages);
+}
+
+namespace {
+bool parse_ascii_u64(std::span<const char> bytes, std::uint64_t& out) {
+  if (bytes.empty() || bytes.size() > 20) return false;
+  std::uint64_t v = 0;
+  for (const char c : bytes) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = v;
+  return true;
+}
+}  // namespace
+
+Result<std::uint64_t> HybridSlabManager::incr(std::string_view key,
+                                              std::uint64_t delta,
+                                              StageBreakdown* stages) {
+  std::vector<char> current;
+  std::uint32_t flags = 0;
+  const StatusCode code = get(key, current, flags, stages);
+  if (!ok(code)) return code;
+  std::uint64_t value = 0;
+  if (!parse_ascii_u64(current, value)) return StatusCode::kInvalidArgument;
+  value += delta;  // memcached wraps on overflow; uint64 wrap matches
+  char buf[24];
+  const int len = std::snprintf(buf, sizeof(buf), "%llu",
+                                static_cast<unsigned long long>(value));
+  const StatusCode stored = set(key, std::span<const char>(buf, static_cast<std::size_t>(len)),
+                                flags, 0, stages);
+  if (!ok(stored)) return stored;
+  return value;
+}
+
+Result<std::uint64_t> HybridSlabManager::decr(std::string_view key,
+                                              std::uint64_t delta,
+                                              StageBreakdown* stages) {
+  std::vector<char> current;
+  std::uint32_t flags = 0;
+  const StatusCode code = get(key, current, flags, stages);
+  if (!ok(code)) return code;
+  std::uint64_t value = 0;
+  if (!parse_ascii_u64(current, value)) return StatusCode::kInvalidArgument;
+  value = value > delta ? value - delta : 0;  // memcached saturates decr at 0
+  char buf[24];
+  const int len = std::snprintf(buf, sizeof(buf), "%llu",
+                                static_cast<unsigned long long>(value));
+  const StatusCode stored = set(key, std::span<const char>(buf, static_cast<std::size_t>(len)),
+                                flags, 0, stages);
+  if (!ok(stored)) return stored;
+  return value;
+}
+
+StatusCode HybridSlabManager::touch(std::string_view key,
+                                    std::int64_t expiration) {
+  const std::scoped_lock lock(mu_);
+  Entry* entry = index_.find(key);
+  if (entry == nullptr) return StatusCode::kNotFound;
+  const std::int64_t expiry =
+      expiration == 0 ? 0 : steady_seconds() + expiration;
+  if (entry->ram != nullptr) {
+    if (expired(entry->ram->expiry)) return StatusCode::kNotFound;
+    entry->ram->expiry = expiry;
+    return StatusCode::kOk;
+  }
+  if (entry->ssd != nullptr) {
+    if (expired(entry->ssd->expiry)) return StatusCode::kNotFound;
+    entry->ssd->expiry = expiry;
+    return StatusCode::kOk;
+  }
+  return StatusCode::kNotFound;
+}
+
+std::uint64_t HybridSlabManager::current_cas_locked(const Entry* entry) const {
+  if (entry == nullptr) return 0;
+  if (entry->ram != nullptr) {
+    return expired(entry->ram->expiry) ? 0 : entry->ram->cas;
+  }
+  if (entry->ssd != nullptr) {
+    return expired(entry->ssd->expiry) ? 0 : entry->ssd->cas;
+  }
+  return 0;
+}
+
+StatusCode HybridSlabManager::gets(std::string_view key, std::vector<char>& out,
+                                   std::uint32_t& flags, std::uint64_t& cas,
+                                   StageBreakdown* stages) {
+  {
+    const std::scoped_lock lock(mu_);
+    cas = current_cas_locked(index_.find(key));
+  }
+  if (cas == 0) {
+    std::uint32_t unused = 0;
+    (void)get(key, out, unused, stages);  // counts the miss consistently
+    return StatusCode::kNotFound;
+  }
+  // The value matching this CAS token: any interleaved overwrite bumps the
+  // version, so a stale read here simply fails the subsequent cas() -- the
+  // exact guarantee memcached provides.
+  return get(key, out, flags, stages);
+}
+
+StatusCode HybridSlabManager::cas(std::string_view key,
+                                  std::span<const char> value,
+                                  std::uint32_t flags, std::int64_t expiration,
+                                  std::uint64_t expected_cas,
+                                  StageBreakdown* stages) {
+  if (key.empty()) return StatusCode::kInvalidArgument;
+  const std::size_t total = item_total_size(key.size(), value.size());
+  const unsigned cls = slabs_.class_for(total);
+  if (cls == kInvalidClass) return StatusCode::kInvalidArgument;
+  const std::int64_t expiry =
+      expiration == 0 ? 0 : steady_seconds() + expiration;
+
+  std::unique_lock lock(mu_);
+  Entry* entry = index_.find(key);
+  std::uint64_t current = current_cas_locked(entry);
+  if (current == 0) return StatusCode::kNotFound;
+  if (current != expected_cas) return StatusCode::kNotStored;  // EXISTS
+
+  // In-place path (same class): check and store under one lock hold.
+  if (entry->ram != nullptr && entry->ram->slab_class == cls &&
+      entry->ram->key_len == key.size()) {
+    ItemHeader* item = entry->ram;
+    item->value_len = static_cast<std::uint32_t>(value.size());
+    item->flags = flags;
+    item->expiry = expiry;
+    item->cas = cas_seq_++;
+    if (!value.empty()) {
+      std::memcpy(item->value_data(), value.data(), value.size());
+    }
+    lru_[cls].move_to_front(item);
+    ++stats_.sets;
+    return StatusCode::kOk;
+  }
+
+  // Relocating path: the allocation may drop the lock (flush), so the
+  // version must be re-validated before committing.
+  char* chunk = allocate_with_reclaim(cls, lock);
+  if (chunk == nullptr) return StatusCode::kOutOfMemory;
+  entry = index_.find(key);
+  current = current_cas_locked(entry);
+  if (current != expected_cas) {
+    slabs_.deallocate(chunk, cls);
+    return current == 0 ? StatusCode::kNotFound : StatusCode::kNotStored;
+  }
+  if (entry->ram != nullptr) unlink_ram_item(entry->ram);
+  if (entry->ssd != nullptr) release_record_locked(entry->ssd);
+  ItemHeader* item = format_item(chunk, key, value, flags, expiry, cls);
+  item->cas = cas_seq_++;
+  entry->ram = item;
+  entry->ssd.reset();
+  lru_[cls].push_front(item);
+  ++stats_.sets;
+  (void)stages;
+  return StatusCode::kOk;
+}
+
+StatusCode HybridSlabManager::del(std::string_view key) {
+  const std::scoped_lock lock(mu_);
+  Entry* entry = index_.find(key);
+  if (entry == nullptr) return StatusCode::kNotFound;
+  if (entry->ram != nullptr) unlink_ram_item(entry->ram);
+  if (entry->ssd != nullptr) release_record_locked(entry->ssd);
+  index_.erase(key);
+  ++stats_.deletes;
+  return StatusCode::kOk;
+}
+
+bool HybridSlabManager::exists(std::string_view key) const {
+  const std::scoped_lock lock(mu_);
+  const Entry* entry = index_.find(key);
+  if (entry == nullptr) return false;
+  if (entry->ram != nullptr) return !expired(entry->ram->expiry);
+  return entry->ssd != nullptr && !expired(entry->ssd->expiry);
+}
+
+void HybridSlabManager::clear() {
+  const std::scoped_lock lock(mu_);
+  index_.for_each([&](std::string_view, Entry& entry) {
+    if (entry.ram != nullptr) unlink_ram_item(entry.ram);
+    if (entry.ssd != nullptr) release_record_locked(entry.ssd);
+    entry = Entry{};
+  });
+  index_.clear();
+}
+
+std::size_t HybridSlabManager::item_count() const {
+  const std::scoped_lock lock(mu_);
+  return index_.size();
+}
+
+ManagerStats HybridSlabManager::stats() const {
+  const std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+SlabStats HybridSlabManager::slab_stats() const {
+  const std::scoped_lock lock(mu_);
+  return slabs_.stats();
+}
+
+void HybridSlabManager::sync_storage() {
+  if (storage_ != nullptr) storage_->cache().sync();
+}
+
+}  // namespace hykv::store

@@ -1,0 +1,231 @@
+// The heart of the hybrid Memcached server: slab-backed RAM storage with an
+// SSD overflow tier ("RAM+SSD hybrid memory", Ouyang et al. ICPP'12, as
+// extended by the paper's Section V-B).
+//
+// Behaviour by mode:
+//   kInMemory -- memcached semantics: when RAM is exhausted, LRU items are
+//                *dropped* (later Gets miss and hit the backend database).
+//   kHybrid   -- when RAM is exhausted, a batch of LRU items (up to one slab,
+//                1 MB) is serialised and flushed to the SSD; items remain
+//                retrievable from flash. No data is lost until SSD capacity
+//                is exhausted.
+//
+// I/O policy (hybrid only):
+//   kDirectAll -- every flush uses direct I/O on the full batch, the
+//                 H-RDMA-Def behaviour whose cost Fig. 2(b) exposes.
+//   kAdaptive  -- per-slab-class scheme selection (Fig. 5): classes with
+//                 chunks <= adaptive_threshold flush via mmap I/O, larger
+//                 classes via cached I/O.
+//
+// Thread safety: all public operations are safe for concurrent callers. The
+// internal mutex is *not* held across modelled SSD time: flush batches are
+// serialised under the lock but written outside it, and SSD reads pin their
+// extent via shared_ptr so concurrent deletes/frees stay safe. Readers of an
+// extent whose write-back is still in flight wait on the extent's ready flag.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/stage.hpp"
+#include "common/status.hpp"
+#include "ssd/io_engine.hpp"
+#include "store/hash_map.hpp"
+#include "store/item.hpp"
+#include "store/slab.hpp"
+
+namespace hykv::store {
+
+enum class StorageMode : std::uint8_t { kInMemory = 0, kHybrid };
+enum class IoPolicy : std::uint8_t { kDirectAll = 0, kAdaptive };
+
+struct ManagerConfig {
+  StorageMode mode = StorageMode::kInMemory;
+  IoPolicy io_policy = IoPolicy::kDirectAll;
+  /// Slab classes with chunk_size <= threshold evict via mmap I/O under
+  /// kAdaptive; larger ones via cached I/O.
+  std::size_t adaptive_threshold = std::size_t{64} << 10;
+  SlabAllocator::Config slab{};
+  /// Cap on live SSD bytes (0 = device capacity only). Mirrors the paper's
+  /// "SSD usage is limited to 4 GB" setup in Fig. 7(c).
+  std::size_t ssd_limit = 0;
+  /// Promote an SSD-resident item back to RAM on Get when a chunk is free.
+  bool promote_on_hit = true;
+  /// Swap-in semantics (the H-RDMA-Def behaviour, after Ouyang et al.): an
+  /// SSD hit *always* promotes, evicting/flushing other items if needed --
+  /// so cold Gets pay allocation churn on top of the SSD read. The optimised
+  /// designs promote opportunistically instead (promote_on_hit only).
+  bool force_promote = false;
+  /// Max bytes serialised per flush (one slab page by default).
+  std::size_t flush_batch_bytes = std::size_t{1} << 20;
+};
+
+struct ManagerStats {
+  std::uint64_t sets = 0;
+  std::uint64_t ram_hits = 0;
+  std::uint64_t ssd_hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t flushes = 0;          ///< Flush batches written to SSD.
+  std::uint64_t flushed_items = 0;
+  std::uint64_t flushed_bytes = 0;
+  std::uint64_t promotions = 0;       ///< SSD items promoted back to RAM.
+  std::uint64_t dropped_evictions = 0;///< Items lost (in-memory LRU / SSD full).
+  std::uint64_t ssd_live_bytes = 0;   ///< Live (referenced) bytes on SSD.
+  std::uint64_t checksum_failures = 0;
+};
+
+class HybridSlabManager {
+ public:
+  /// `storage` must outlive the manager; may be nullptr iff mode==kInMemory.
+  HybridSlabManager(ManagerConfig config, ssd::StorageStack* storage);
+  ~HybridSlabManager();
+
+  HybridSlabManager(const HybridSlabManager&) = delete;
+  HybridSlabManager& operator=(const HybridSlabManager&) = delete;
+
+  /// Stores (or overwrites) key -> value. `expiration` is relative seconds
+  /// (0 = never). Stage time lands in kSlabAllocation (allocation + any
+  /// flush) and kCacheUpdate (item write + index/LRU update); the lookup of
+  /// a previous version lands in kCacheCheckLoad.
+  StatusCode set(std::string_view key, std::span<const char> value,
+                 std::uint32_t flags, std::int64_t expiration,
+                 StageBreakdown* stages = nullptr);
+
+  /// Fetches key into `out` (resized to the value length). SSD loads are
+  /// attributed to kCacheCheckLoad, LRU promotion to kCacheUpdate.
+  StatusCode get(std::string_view key, std::vector<char>& out,
+                 std::uint32_t& flags, StageBreakdown* stages = nullptr);
+
+  StatusCode del(std::string_view key);
+  [[nodiscard]] bool exists(std::string_view key) const;
+
+  /// memcached "add": stores only if the key does not exist (kNotStored
+  /// otherwise).
+  StatusCode add(std::string_view key, std::span<const char> value,
+                 std::uint32_t flags, std::int64_t expiration,
+                 StageBreakdown* stages = nullptr);
+
+  /// memcached "replace": stores only if the key exists (kNotStored
+  /// otherwise).
+  StatusCode replace(std::string_view key, std::span<const char> value,
+                     std::uint32_t flags, std::int64_t expiration,
+                     StageBreakdown* stages = nullptr);
+
+  /// memcached "append"/"prepend": extends an existing value (kNotStored if
+  /// absent). Reads the current value (possibly from SSD) and re-stores.
+  StatusCode append(std::string_view key, std::span<const char> suffix,
+                    StageBreakdown* stages = nullptr);
+  StatusCode prepend(std::string_view key, std::span<const char> prefix,
+                     StageBreakdown* stages = nullptr);
+
+  /// memcached "incr"/"decr": the value must be an ASCII unsigned integer;
+  /// applies the delta (decr saturates at 0, memcached semantics) and
+  /// returns the new value. kNotFound if absent, kInvalidArgument if the
+  /// value is not numeric.
+  Result<std::uint64_t> incr(std::string_view key, std::uint64_t delta,
+                             StageBreakdown* stages = nullptr);
+  Result<std::uint64_t> decr(std::string_view key, std::uint64_t delta,
+                             StageBreakdown* stages = nullptr);
+
+  /// memcached "touch": updates the expiration without moving data.
+  StatusCode touch(std::string_view key, std::int64_t expiration);
+
+  /// memcached "gets": like get() but also returns the item's CAS version.
+  StatusCode gets(std::string_view key, std::vector<char>& out,
+                  std::uint32_t& flags, std::uint64_t& cas,
+                  StageBreakdown* stages = nullptr);
+
+  /// memcached "cas": stores only if the item's current version equals
+  /// `expected_cas`. kNotFound if absent; kNotStored on version mismatch
+  /// (memcached's EXISTS).
+  StatusCode cas(std::string_view key, std::span<const char> value,
+                 std::uint32_t flags, std::int64_t expiration,
+                 std::uint64_t expected_cas, StageBreakdown* stages = nullptr);
+
+  /// Drops every item (memcached flush_all).
+  void clear();
+
+  [[nodiscard]] std::size_t item_count() const;
+  [[nodiscard]] ManagerStats stats() const;
+  [[nodiscard]] SlabStats slab_stats() const;
+  [[nodiscard]] const ManagerConfig& config() const noexcept { return config_; }
+
+  /// Blocks until all flushed data is durable (test/shutdown hook).
+  void sync_storage();
+
+ private:
+  /// An SSD extent holding one flushed batch; freed (TRIM + page-cache
+  /// invalidate) when the last record referencing it dies.
+  struct ExtentHandle {
+    ssd::StorageStack* storage = nullptr;
+    ssd::ExtentId id = ssd::kInvalidExtent;
+    std::size_t bytes = 0;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool ready = false;
+
+    void mark_ready();
+    void wait_ready();
+    ~ExtentHandle();
+  };
+
+  struct SsdRecord {
+    std::shared_ptr<ExtentHandle> extent;
+    std::uint32_t record_offset = 0;  ///< Offset of the framed record.
+    std::uint32_t key_len = 0;
+    std::uint32_t value_len = 0;
+    std::uint32_t flags = 0;
+    std::uint32_t value_crc = 0;
+    std::int64_t expiry = 0;
+    std::uint64_t cas = 0;
+    ssd::IoScheme scheme = ssd::IoScheme::kDirect;
+  };
+
+  struct Entry {
+    ItemHeader* ram = nullptr;
+    std::shared_ptr<SsdRecord> ssd;
+  };
+
+  /// Allocates a chunk, evicting (in-memory) or flushing (hybrid) as needed.
+  /// May release and reacquire `lock` around SSD writes.
+  char* allocate_with_reclaim(unsigned cls, std::unique_lock<std::mutex>& lock);
+
+  /// Flushes up to flush_batch_bytes of LRU-tail items of `cls` to the SSD.
+  /// Returns false if the class had nothing to flush. Lock juggling as above.
+  bool flush_batch(unsigned cls, std::unique_lock<std::mutex>& lock);
+
+  /// Drops the LRU-tail item of `cls` (or of the fullest other class when
+  /// empty). Returns false when nothing anywhere is evictable.
+  bool drop_one(unsigned cls);
+
+  void unlink_ram_item(ItemHeader* item);
+  [[nodiscard]] ssd::IoScheme scheme_for_class(unsigned cls) const noexcept;
+  [[nodiscard]] bool expired(std::int64_t expiry) const noexcept;
+  void release_record_locked(const std::shared_ptr<SsdRecord>& record);
+
+  /// Current CAS version of the entry, whichever tier it lives in
+  /// (0 = entry absent/expired). Caller must hold mu_.
+  std::uint64_t current_cas_locked(const Entry* entry) const;
+
+  ManagerConfig config_;
+  ssd::StorageStack* storage_;
+  std::uint64_t cas_seq_ = 1;  ///< Monotonic CAS stamp source (under mu_).
+
+  mutable std::mutex mu_;
+  SlabAllocator slabs_;
+  HashMap<Entry> index_;
+  std::vector<LruList> lru_;  ///< One per slab class.
+  ManagerStats stats_;
+};
+
+/// Seconds on the steady clock -- the manager's expiry time base.
+std::int64_t steady_seconds() noexcept;
+
+}  // namespace hykv::store

@@ -1,0 +1,128 @@
+// In-chunk item layout and the intrusive LRU list.
+//
+// An item occupies one slab chunk: a fixed ItemHeader followed by the key
+// bytes and the value bytes. The header embeds the LRU links (like
+// memcached's it_prev/it_next) so promotion/eviction never allocates.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <span>
+#include <string_view>
+
+namespace hykv::store {
+
+struct ItemHeader {
+  ItemHeader* lru_prev = nullptr;
+  ItemHeader* lru_next = nullptr;
+  std::uint32_t key_len = 0;
+  std::uint32_t value_len = 0;
+  std::uint32_t flags = 0;
+  std::uint32_t slab_class = 0;
+  std::int64_t expiry = 0;   ///< Absolute seconds (steady); 0 = never.
+  std::uint64_t cas = 0;     ///< Version stamp for check-and-set.
+
+  [[nodiscard]] char* key_data() noexcept {
+    return reinterpret_cast<char*>(this) + sizeof(ItemHeader);
+  }
+  [[nodiscard]] const char* key_data() const noexcept {
+    return reinterpret_cast<const char*>(this) + sizeof(ItemHeader);
+  }
+  [[nodiscard]] char* value_data() noexcept { return key_data() + key_len; }
+  [[nodiscard]] const char* value_data() const noexcept {
+    return key_data() + key_len;
+  }
+  [[nodiscard]] std::string_view key() const noexcept {
+    return {key_data(), key_len};
+  }
+  [[nodiscard]] std::span<const char> value() const noexcept {
+    return {value_data(), value_len};
+  }
+};
+static_assert(sizeof(ItemHeader) % 8 == 0, "keep key bytes aligned");
+
+/// Bytes an item with the given key/value lengths needs inside a chunk.
+constexpr std::size_t item_total_size(std::size_t key_len,
+                                      std::size_t value_len) noexcept {
+  return sizeof(ItemHeader) + key_len + value_len;
+}
+
+/// Formats an item into a chunk the caller obtained from the allocator.
+inline ItemHeader* format_item(char* chunk, std::string_view key,
+                               std::span<const char> value, std::uint32_t flags,
+                               std::int64_t expiry, unsigned slab_class) {
+  auto* item = new (chunk) ItemHeader();
+  item->key_len = static_cast<std::uint32_t>(key.size());
+  item->value_len = static_cast<std::uint32_t>(value.size());
+  item->flags = flags;
+  item->expiry = expiry;
+  item->slab_class = slab_class;
+  std::memcpy(item->key_data(), key.data(), key.size());
+  if (!value.empty()) {
+    std::memcpy(item->value_data(), value.data(), value.size());
+  }
+  return item;
+}
+
+/// Intrusive doubly-linked LRU: front = most recently used. One list per
+/// slab class (memcached's per-class LRU).
+class LruList {
+ public:
+  void push_front(ItemHeader* item) noexcept {
+    item->lru_prev = nullptr;
+    item->lru_next = head_;
+    if (head_ != nullptr) head_->lru_prev = item;
+    head_ = item;
+    if (tail_ == nullptr) tail_ = item;
+    ++size_;
+  }
+
+  void remove(ItemHeader* item) noexcept {
+    if (item->lru_prev != nullptr) {
+      item->lru_prev->lru_next = item->lru_next;
+    } else {
+      head_ = item->lru_next;
+    }
+    if (item->lru_next != nullptr) {
+      item->lru_next->lru_prev = item->lru_prev;
+    } else {
+      tail_ = item->lru_prev;
+    }
+    item->lru_prev = item->lru_next = nullptr;
+    --size_;
+  }
+
+  void move_to_front(ItemHeader* item) noexcept {
+    if (head_ == item) return;
+    remove(item);
+    push_front(item);
+  }
+
+  [[nodiscard]] ItemHeader* tail() const noexcept { return tail_; }
+  [[nodiscard]] ItemHeader* front() const noexcept { return head_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return head_ == nullptr; }
+
+  void clear() noexcept {
+    head_ = tail_ = nullptr;
+    size_ = 0;
+  }
+
+ private:
+  ItemHeader* head_ = nullptr;
+  ItemHeader* tail_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// On-SSD flat record framing used when items are flushed:
+/// [u32 key_len][u32 value_len][u32 flags][u32 crc32c(value)][i64 expiry][key][value]
+struct SsdItemFraming {
+  static constexpr std::size_t kHeaderBytes = 4 * 4 + 8;
+  static constexpr std::size_t record_size(std::size_t key_len,
+                                           std::size_t value_len) noexcept {
+    return kHeaderBytes + key_len + value_len;
+  }
+};
+
+}  // namespace hykv::store

@@ -1,0 +1,95 @@
+#include "store/slab.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace hykv::store {
+
+SlabAllocator::SlabAllocator(Config config) : config_(config) {
+  assert(config_.growth_factor > 1.0);
+  assert(config_.min_chunk >= 64);
+  std::size_t chunk = config_.min_chunk;
+  while (chunk < config_.slab_bytes) {
+    SlabClass cls;
+    cls.chunk_size = chunk;
+    classes_.push_back(std::move(cls));
+    const auto next = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(chunk) * config_.growth_factor));
+    // Align chunk sizes to 8 bytes so item headers stay aligned.
+    chunk = (std::max(next, chunk + 8) + 7) & ~std::size_t{7};
+  }
+  SlabClass top;
+  top.chunk_size = config_.slab_bytes;
+  classes_.push_back(std::move(top));
+}
+
+unsigned SlabAllocator::class_for(std::size_t size) const noexcept {
+  // Classes are sorted; binary search the first chunk_size >= size.
+  const auto it = std::lower_bound(
+      classes_.begin(), classes_.end(), size,
+      [](const SlabClass& cls, std::size_t s) { return cls.chunk_size < s; });
+  if (it == classes_.end()) return kInvalidClass;
+  return static_cast<unsigned>(it - classes_.begin());
+}
+
+bool SlabAllocator::grow(unsigned cls) {
+  if (reserved_ + config_.slab_bytes > config_.memory_limit) return false;
+  auto page = std::make_unique<char[]>(config_.slab_bytes);
+  char* base = page.get();
+  pages_.push_back(std::move(page));
+  reserved_ += config_.slab_bytes;
+  SlabClass& slab_class = classes_[cls];
+  const std::size_t count = config_.slab_bytes / slab_class.chunk_size;
+  slab_class.free.reserve(slab_class.free.size() + count);
+  for (std::size_t i = 0; i < count; ++i) {
+    slab_class.free.push_back(base + i * slab_class.chunk_size);
+  }
+  slab_class.total_chunks += count;
+  return true;
+}
+
+char* SlabAllocator::allocate(unsigned cls) {
+  assert(cls < classes_.size());
+  SlabClass& slab_class = classes_[cls];
+  if (slab_class.free.empty() && !grow(cls)) return nullptr;
+  char* chunk = slab_class.free.back();
+  slab_class.free.pop_back();
+  ++used_chunks_;
+  return chunk;
+}
+
+void SlabAllocator::deallocate(char* chunk, unsigned cls) {
+  assert(cls < classes_.size());
+  assert(chunk != nullptr);
+  classes_[cls].free.push_back(chunk);
+  --used_chunks_;
+}
+
+bool SlabAllocator::can_allocate(unsigned cls) const noexcept {
+  return !classes_[cls].free.empty() ||
+         reserved_ + config_.slab_bytes <= config_.memory_limit;
+}
+
+SlabStats SlabAllocator::stats() const noexcept {
+  SlabStats stats;
+  stats.slab_pages = pages_.size();
+  stats.reserved_bytes = reserved_;
+  stats.used_chunks = used_chunks_;
+  for (const auto& cls : classes_) stats.free_chunks += cls.free.size();
+  return stats;
+}
+
+std::size_t slab_item_footprint(const SlabAllocator::Config& config,
+                                std::size_t item_size) {
+  SlabAllocator::Config probe = config;
+  probe.memory_limit = 0;  // ladder only; never allocates pages
+  const SlabAllocator ladder(probe);
+  const unsigned cls = ladder.class_for(item_size);
+  if (cls == kInvalidClass) return item_size;
+  const std::size_t chunk = ladder.chunk_size(cls);
+  const std::size_t per_page = config.slab_bytes / chunk;
+  return per_page == 0 ? chunk : config.slab_bytes / per_page;
+}
+
+}  // namespace hykv::store

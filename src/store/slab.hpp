@@ -1,0 +1,93 @@
+// Memcached-style slab allocator.
+//
+// Memory is reserved from the OS in fixed slab pages (1 MB by default) and
+// carved into equal-sized chunks per *slab class*; chunk sizes grow
+// geometrically (factor 1.25, like memcached's default). An item occupies
+// exactly one chunk of the smallest class that fits it. This prevents
+// fragmentation as items churn (Section III-A stage 1 of the paper).
+//
+// Not thread-safe: the owning slab manager serialises access.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace hykv::store {
+
+constexpr unsigned kInvalidClass = ~0u;
+
+struct SlabStats {
+  std::size_t slab_pages = 0;     ///< Pages reserved from the arena.
+  std::size_t reserved_bytes = 0; ///< slab_pages * slab_bytes.
+  std::size_t used_chunks = 0;
+  std::size_t free_chunks = 0;
+};
+
+class SlabAllocator {
+ public:
+  struct Config {
+    std::size_t slab_bytes = std::size_t{1} << 20;  ///< Page size (1 MB).
+    std::size_t memory_limit = std::size_t{64} << 20;
+    std::size_t min_chunk = 128;
+    double growth_factor = 1.25;
+  };
+
+  explicit SlabAllocator(Config config);
+
+  SlabAllocator(const SlabAllocator&) = delete;
+  SlabAllocator& operator=(const SlabAllocator&) = delete;
+
+  [[nodiscard]] unsigned num_classes() const noexcept {
+    return static_cast<unsigned>(classes_.size());
+  }
+
+  /// Smallest class whose chunk holds `size` bytes; kInvalidClass when the
+  /// size exceeds the slab page size (item too large to store).
+  [[nodiscard]] unsigned class_for(std::size_t size) const noexcept;
+
+  [[nodiscard]] std::size_t chunk_size(unsigned cls) const noexcept {
+    return classes_[cls].chunk_size;
+  }
+
+  /// Returns a chunk of class `cls`, growing the class by one slab page if
+  /// the memory limit allows; nullptr when both the free list and the arena
+  /// are exhausted (caller must evict).
+  [[nodiscard]] char* allocate(unsigned cls);
+
+  void deallocate(char* chunk, unsigned cls);
+
+  /// True if allocate(cls) would succeed without any eviction.
+  [[nodiscard]] bool can_allocate(unsigned cls) const noexcept;
+
+  [[nodiscard]] SlabStats stats() const noexcept;
+  [[nodiscard]] std::size_t free_chunks(unsigned cls) const noexcept {
+    return classes_[cls].free.size();
+  }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  struct SlabClass {
+    std::size_t chunk_size = 0;
+    std::vector<char*> free;  ///< LIFO free list.
+    std::size_t total_chunks = 0;
+  };
+
+  bool grow(unsigned cls);
+
+  Config config_;
+  std::vector<SlabClass> classes_;
+  std::vector<std::unique_ptr<char[]>> pages_;
+  std::size_t reserved_ = 0;
+  std::size_t used_chunks_ = 0;
+};
+
+/// Bytes of arena one stored item of `item_size` effectively consumes under
+/// `config`: its slab-class chunk size plus the pro-rata page remainder that
+/// cannot hold another chunk. Used by benches to size datasets that truly
+/// fit (or truly overflow) a given memory limit.
+std::size_t slab_item_footprint(const SlabAllocator::Config& config,
+                                std::size_t item_size);
+
+}  // namespace hykv::store

@@ -1,0 +1,418 @@
+#include "workload/workload.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <charconv>
+#include <cstring>
+#include <thread>
+
+#include "common/hash.hpp"
+#include "common/logging.hpp"
+
+namespace hykv::workload {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Shared immutable payload pool. Values are deterministic slices of this
+// pool, so sets are zero-copy-safe (iset may read the buffer at any later
+// time) and verification is a cheap comparison against the same slice.
+constexpr std::size_t kPoolBytes = (std::size_t{4} << 20) + (std::size_t{1} << 20);
+
+const std::vector<char>& payload_pool() {
+  static const std::vector<char> pool = [] {
+    std::vector<char> p(kPoolBytes);
+    Rng rng(0xDA7A5E7);
+    rng.fill(p.data(), p.size());
+    return p;
+  }();
+  return pool;
+}
+
+std::span<const char> dataset_span(std::uint64_t key_index,
+                                   std::size_t value_bytes) {
+  assert(value_bytes <= (std::size_t{1} << 20));
+  const std::size_t offset = (mix64(key_index) % (std::size_t{4} << 20)) & ~std::size_t{7};
+  return {payload_pool().data() + offset, value_bytes};
+}
+
+std::optional<std::uint64_t> parse_key_index(std::string_view key) {
+  // make_key format: "key-%016x".
+  if (key.size() != 20 || key.substr(0, 4) != "key-") return std::nullopt;
+  std::uint64_t index = 0;
+  const auto* begin = key.data() + 4;
+  const auto [ptr, ec] = std::from_chars(begin, key.data() + key.size(), index, 16);
+  if (ec != std::errc{} || ptr != key.data() + key.size()) return std::nullopt;
+  return index;
+}
+
+/// Key-index generator behind the configured distribution.
+class KeyPicker {
+ public:
+  KeyPicker(const WorkloadConfig& config, std::uint64_t seed)
+      : pattern_(config.pattern),
+        uniform_(config.key_count, seed),
+        zipf_(config.key_count, config.zipf_theta, seed) {}
+
+  std::uint64_t next() {
+    return pattern_ == Pattern::kUniform ? uniform_.next() : zipf_.next();
+  }
+
+ private:
+  Pattern pattern_;
+  UniformGenerator uniform_;
+  ScrambledZipfGenerator zipf_;
+};
+
+/// One in-flight non-blocking operation. Buffers are owned by the slot and
+/// reused across operations -- the Listing 2 application pattern, which also
+/// means the engine's registration cache stays hot (a fresh buffer per op
+/// would pay a cold ibv_reg_mr each time).
+struct Slot {
+  client::Request request;
+  std::vector<char> dest;       ///< Get destination buffer.
+  std::vector<char> value_buf;  ///< Set staging buffer (stable until done).
+  std::uint64_t key_index = 0;
+  bool is_read = false;
+  bool in_use = false;
+};
+
+}  // namespace
+
+std::vector<char> dataset_value(std::uint64_t key_index, std::size_t value_bytes) {
+  const auto span = dataset_span(key_index, value_bytes);
+  return {span.begin(), span.end()};
+}
+
+client::BackendDb::Resolver dataset_resolver(std::uint64_t key_count,
+                                             std::size_t value_bytes) {
+  return [key_count, value_bytes](
+             std::string_view key) -> std::optional<std::vector<char>> {
+    const auto index = parse_key_index(key);
+    if (!index.has_value() || *index >= key_count) return std::nullopt;
+    return dataset_value(*index, value_bytes);
+  };
+}
+
+WorkloadConfig ycsb_preset(char preset, std::uint64_t key_count,
+                           std::size_t value_bytes, std::uint64_t operations) {
+  WorkloadConfig cfg;
+  cfg.key_count = key_count;
+  cfg.value_bytes = value_bytes;
+  cfg.operations = operations;
+  cfg.pattern = Pattern::kZipf;
+  switch (preset) {
+    case 'A': cfg.read_fraction = 0.5; break;
+    case 'B': cfg.read_fraction = 0.95; break;
+    case 'C': cfg.read_fraction = 1.0; break;
+    case 'U':
+      cfg.read_fraction = 0.5;
+      cfg.pattern = Pattern::kUniform;
+      break;
+    default: cfg.read_fraction = 0.5; break;
+  }
+  return cfg;
+}
+
+void WorkloadResult::merge(const WorkloadResult& other) {
+  op_latency.merge(other.op_latency);
+  read_latency.merge(other.read_latency);
+  write_latency.merge(other.write_latency);
+  total_time = std::max(total_time, other.total_time);
+  blocked_time += other.blocked_time;
+  operations += other.operations;
+  reads += other.reads;
+  writes += other.writes;
+  hits += other.hits;
+  misses += other.misses;
+  errors += other.errors;
+  verify_failures += other.verify_failures;
+}
+
+void preload(client::Client& client, const WorkloadConfig& config) {
+  for (std::uint64_t i = 0; i < config.key_count; ++i) {
+    const StatusCode code =
+        client.set(make_key(i), dataset_span(i, config.value_bytes));
+    if (!ok(code)) {
+      HYKV_WARN("preload: set(%llu) -> %.*s",
+                static_cast<unsigned long long>(i),
+                static_cast<int>(to_string(code).size()), to_string(code).data());
+    }
+  }
+}
+
+WorkloadResult run(client::Client& client, const WorkloadConfig& config) {
+  WorkloadResult result;
+  KeyPicker picker(config, config.seed);
+  Rng mix_rng(config.seed ^ 0x5EED);
+
+  const auto run_start = Clock::now();
+  auto blocked = sim::Nanos{0};
+
+  if (config.api == core::ApiMode::kBlocking) {
+    std::vector<char> out;
+    out.reserve(config.value_bytes);
+    for (std::uint64_t op = 0; op < config.operations; ++op) {
+      const std::uint64_t key_index = picker.next();
+      const std::string key = make_key(key_index);
+      const bool is_read = mix_rng.next_double() < config.read_fraction;
+      const auto t0 = Clock::now();
+      if (is_read) {
+        const StatusCode code = client.get(key, out);
+        const auto dt = Clock::now() - t0;
+        blocked += dt;
+        result.op_latency.record(dt);
+        result.read_latency.record(dt);
+        ++result.reads;
+        if (ok(code)) {
+          ++result.hits;
+          if (config.verify_values &&
+              !std::ranges::equal(out, dataset_span(key_index, config.value_bytes))) {
+            ++result.verify_failures;
+          }
+        } else if (code == StatusCode::kNotFound) {
+          ++result.misses;
+        } else {
+          ++result.errors;
+        }
+      } else {
+        const StatusCode code =
+            client.set(key, dataset_span(key_index, config.value_bytes));
+        const auto dt = Clock::now() - t0;
+        blocked += dt;
+        result.op_latency.record(dt);
+        result.write_latency.record(dt);
+        ++result.writes;
+        if (!ok(code)) ++result.errors;
+      }
+      ++result.operations;
+    }
+  } else {
+    const bool buffered = config.api == core::ApiMode::kNonBlockingB;
+    std::vector<std::unique_ptr<Slot>> slots;
+    slots.reserve(config.window);
+    for (std::size_t i = 0; i < config.window; ++i) {
+      slots.push_back(std::make_unique<Slot>());
+      slots.back()->dest.resize(config.value_bytes);
+      slots.back()->value_buf.resize(config.value_bytes);
+    }
+
+    auto reap = [&](Slot& slot) {
+      // Completion semantics: wait/test returned true -> for Gets the value
+      // sits in the user's buffer, for Sets the pair is stored.
+      const StatusCode code = slot.request.status();
+      if (slot.is_read) {
+        ++result.reads;
+        if (ok(code)) {
+          ++result.hits;
+          if (config.verify_values &&
+              !std::ranges::equal(
+                  std::span<const char>(slot.dest.data(),
+                                        slot.request.value_length()),
+                  dataset_span(slot.key_index, config.value_bytes))) {
+            ++result.verify_failures;
+          }
+        } else if (code == StatusCode::kNotFound) {
+          ++result.misses;
+        } else {
+          ++result.errors;
+        }
+      } else {
+        ++result.writes;
+        if (!ok(code)) ++result.errors;
+      }
+      slot.in_use = false;
+      ++result.operations;
+    };
+
+    auto poll_once = [&]() -> bool {
+      bool reaped = false;
+      for (auto& slot : slots) {
+        if (slot->in_use && client.test(slot->request)) {
+          reap(*slot);
+          reaped = true;
+        }
+      }
+      return reaped;
+    };
+
+    auto acquire = [&]() -> Slot* {
+      while (true) {
+        for (auto& slot : slots) {
+          if (!slot->in_use) return slot.get();
+        }
+        // Window full: do useful computation, then poll (memcached_test).
+        // Coarse sleep: compute must not spin the core away from the
+        // server/progress threads it is supposed to overlap with.
+        if (!poll_once()) sim::advance_coarse(config.poll_compute);
+      }
+    };
+
+    for (std::uint64_t op = 0; op < config.operations; ++op) {
+      Slot* slot = acquire();
+      slot->key_index = picker.next();
+      slot->is_read = mix_rng.next_double() < config.read_fraction;
+      slot->in_use = true;
+      const std::string key = make_key(slot->key_index);
+
+      const auto t0 = Clock::now();
+      StatusCode code;
+      if (slot->is_read) {
+        code = buffered ? client.bget(key, slot->dest, slot->request)
+                        : client.iget(key, slot->dest, slot->request);
+      } else {
+        const auto value = dataset_span(slot->key_index, config.value_bytes);
+        std::memcpy(slot->value_buf.data(), value.data(), value.size());
+        const std::span<const char> staged(slot->value_buf.data(), value.size());
+        code = buffered ? client.bset(key, staged, 0, 0, slot->request)
+                        : client.iset(key, staged, 0, 0, slot->request);
+      }
+      const auto dt = Clock::now() - t0;
+      blocked += dt;
+      result.op_latency.record(dt);  // issue latency for non-blocking ops
+      if (!ok(code)) {
+        ++result.errors;
+        slot->in_use = false;
+        ++result.operations;
+      }
+    }
+
+    // Drain: compute + test until all requests complete (Listing 2 pattern).
+    while (std::any_of(slots.begin(), slots.end(),
+                       [](const auto& s) { return s->in_use; })) {
+      if (!poll_once()) sim::advance_coarse(config.poll_compute);
+    }
+  }
+
+  result.total_time = Clock::now() - run_start;
+  result.blocked_time = blocked;
+  return result;
+}
+
+WorkloadResult run_multi(core::TestBed& bed, unsigned num_clients,
+                         const WorkloadConfig& config) {
+  std::vector<WorkloadResult> results(num_clients);
+  std::vector<std::thread> threads;
+  threads.reserve(num_clients);
+  std::atomic<unsigned> ready{0};
+  std::atomic<bool> go{false};
+
+  const auto wall_start = Clock::now();
+  for (unsigned i = 0; i < num_clients; ++i) {
+    threads.emplace_back([&, i] {
+      auto client = bed.make_client("wl-client-" + std::to_string(i));
+      WorkloadConfig mine = config;
+      mine.seed = config.seed + i * 7919;
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+      results[i] = run(*client, mine);
+    });
+  }
+  while (ready.load() < num_clients) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  const auto parallel_start = Clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& thread : threads) thread.join();
+  const auto wall = Clock::now() - parallel_start;
+  (void)wall_start;
+
+  WorkloadResult merged;
+  for (auto& r : results) merged.merge(r);
+  merged.total_time = wall;  // aggregated throughput uses parallel wall time
+  return merged;
+}
+
+BlockIoResult run_block_io(client::Client& client, const BlockIoConfig& config) {
+  BlockIoResult result;
+  const std::size_t chunks_per_block =
+      std::max<std::size_t>(1, config.block_bytes / config.chunk_bytes);
+  const std::size_t num_blocks =
+      std::max<std::size_t>(1, config.total_bytes / config.block_bytes);
+  const bool blocking = config.api == core::ApiMode::kBlocking;
+  const bool buffered = config.api == core::ApiMode::kNonBlockingB;
+
+  auto chunk_key = [](std::size_t block, std::size_t chunk) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "blk-%08x-%08x",
+                  static_cast<unsigned>(block), static_cast<unsigned>(chunk));
+    return std::string(buf);
+  };
+  auto chunk_payload = [&](std::size_t block, std::size_t chunk) {
+    return dataset_span(block * chunks_per_block + chunk + 0xB10C,
+                        config.chunk_bytes);
+  };
+
+  std::vector<std::unique_ptr<client::Request>> requests;
+  std::vector<std::vector<char>> dests(chunks_per_block);
+  for (std::size_t c = 0; c < chunks_per_block; ++c) {
+    requests.push_back(std::make_unique<client::Request>());
+    dests[c].resize(config.chunk_bytes);
+  }
+
+  // ---- Write pass: Listing 2's write_kv_pairs_to_memcached ----
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    const auto t0 = Clock::now();
+    if (blocking) {
+      for (std::size_t c = 0; c < chunks_per_block; ++c) {
+        if (!ok(client.set(chunk_key(b, c), chunk_payload(b, c)))) ++result.errors;
+      }
+    } else {
+      for (std::size_t c = 0; c < chunks_per_block; ++c) {
+        const StatusCode code =
+            buffered ? client.bset(chunk_key(b, c), chunk_payload(b, c), 0, 0,
+                                   *requests[c])
+                     : client.iset(chunk_key(b, c), chunk_payload(b, c), 0, 0,
+                                   *requests[c]);
+        if (!ok(code)) ++result.errors;
+        (void)client.test(*requests[c]);  // opportunistic progress check
+      }
+      for (auto& req : requests) client.wait(*req);
+      for (auto& req : requests) {
+        if (!ok(req->status())) ++result.errors;
+      }
+    }
+    result.write_block_latency.record(Clock::now() - t0);
+    ++result.blocks;
+  }
+
+  // ---- Read pass: read_kv_pairs_from_memcached ----
+  std::vector<char> out;
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    const auto t0 = Clock::now();
+    if (blocking) {
+      for (std::size_t c = 0; c < chunks_per_block; ++c) {
+        if (!ok(client.get(chunk_key(b, c), out))) {
+          ++result.errors;
+        } else if (!std::ranges::equal(out, chunk_payload(b, c))) {
+          ++result.verify_failures;
+        }
+      }
+    } else {
+      for (std::size_t c = 0; c < chunks_per_block; ++c) {
+        const StatusCode code =
+            buffered ? client.bget(chunk_key(b, c), dests[c], *requests[c])
+                     : client.iget(chunk_key(b, c), dests[c], *requests[c]);
+        if (!ok(code)) ++result.errors;
+      }
+      for (auto& req : requests) client.wait(*req);
+      for (std::size_t c = 0; c < chunks_per_block; ++c) {
+        if (!ok(requests[c]->status())) {
+          ++result.errors;
+        } else if (!std::ranges::equal(
+                       std::span<const char>(dests[c].data(),
+                                             requests[c]->value_length()),
+                       chunk_payload(b, c))) {
+          ++result.verify_failures;
+        }
+      }
+    }
+    result.read_block_latency.record(Clock::now() - t0);
+  }
+  return result;
+}
+
+}  // namespace hykv::workload

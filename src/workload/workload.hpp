@@ -1,0 +1,131 @@
+// OHB-style micro-benchmark engine (Section VI-A): configurable key-value
+// size, data-access distribution (Uniform / Zipf), read:write mix and API
+// family, plus the block-based bursty-I/O pattern of Listing 2 and a
+// multi-client throughput driver.
+//
+// Measurement model
+//   Blocking ops record true per-op latency.
+//   Non-blocking ops are issued up to a window; while requests are in
+//   flight the driver performs synthetic compute in small chunks and polls
+//   completion (memcached_test style). Time inside client calls counts as
+//   *blocked*; compute/poll time counts as *available*. overlap_fraction =
+//   available / total -- exactly the metric of Fig. 7(a).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/client.hpp"
+#include "common/histogram.hpp"
+#include "common/random.hpp"
+#include "common/sim_time.hpp"
+#include "core/design.hpp"
+#include "core/testbed.hpp"
+
+namespace hykv::workload {
+
+enum class Pattern : std::uint8_t { kUniform = 0, kZipf };
+
+struct WorkloadConfig {
+  std::uint64_t key_count = 1000;   ///< Working-set size in keys.
+  std::size_t value_bytes = 32 << 10;
+  double read_fraction = 0.5;       ///< 1.0 = read-only, 0.5 = 50:50.
+  Pattern pattern = Pattern::kZipf;
+  double zipf_theta = 0.99;
+  std::uint64_t operations = 1000;
+  core::ApiMode api = core::ApiMode::kBlocking;
+  std::uint64_t seed = 42;
+  std::size_t window = 64;          ///< Max outstanding non-blocking requests.
+  sim::Nanos poll_compute = sim::us(2);  ///< Compute chunk between polls.
+  bool verify_values = false;       ///< Check payload integrity on every hit.
+};
+
+struct WorkloadResult {
+  LatencyHistogram op_latency;  ///< Per-op latency (blocking) / issue cost (non-blocking).
+  LatencyHistogram read_latency;   ///< Blocking Get latencies.
+  LatencyHistogram write_latency;  ///< Blocking Set latencies.
+  sim::Nanos total_time{0};
+  sim::Nanos blocked_time{0};   ///< Time inside client API calls/waits.
+  std::uint64_t operations = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t verify_failures = 0;
+
+  [[nodiscard]] double avg_latency_us() const {
+    return operations == 0 ? 0.0
+                           : static_cast<double>(total_time.count()) /
+                                 static_cast<double>(operations) / 1e3;
+  }
+  [[nodiscard]] double throughput_kops() const {
+    return total_time.count() == 0
+               ? 0.0
+               : static_cast<double>(operations) /
+                     (static_cast<double>(total_time.count()) / 1e9) / 1e3;
+  }
+  [[nodiscard]] double overlap_fraction() const {
+    return total_time.count() == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(blocked_time.count()) /
+                           static_cast<double>(total_time.count());
+  }
+  void merge(const WorkloadResult& other);
+};
+
+/// YCSB core-workload presets over the paper's micro-benchmark engine
+/// (Section VI-A cites YCSB as the pattern source):
+///   'A' update-heavy 50:50 Zipf, 'B' read-mostly 95:5 Zipf,
+///   'C' read-only Zipf, 'U' uniform 50:50 (the paper's Uniform pattern).
+WorkloadConfig ycsb_preset(char preset, std::uint64_t key_count,
+                           std::size_t value_bytes, std::uint64_t operations);
+
+/// Deterministic payload for a key index (shared by preload, verification
+/// and the backend resolver).
+std::vector<char> dataset_value(std::uint64_t key_index, std::size_t value_bytes);
+
+/// Backend resolver serving the synthetic dataset (for in-memory designs'
+/// miss path) without materialising it in RAM.
+client::BackendDb::Resolver dataset_resolver(std::uint64_t key_count,
+                                             std::size_t value_bytes);
+
+/// Loads keys [0, key_count) into the cluster through `client`. Run under
+/// sim::ScopedTimeScale(0) when preload time should not be modelled.
+void preload(client::Client& client, const WorkloadConfig& config);
+
+/// Runs the mixed Set/Get workload on one client.
+WorkloadResult run(client::Client& client, const WorkloadConfig& config);
+
+/// Multi-client aggregated throughput (Fig. 7(c)): spawns `num_clients`
+/// threads, each with its own Client, all running `config`.
+WorkloadResult run_multi(core::TestBed& bed, unsigned num_clients,
+                         const WorkloadConfig& config);
+
+// ---- Bursty block I/O (Listing 2 / Fig. 8(b)) ---------------------------
+
+struct BlockIoConfig {
+  std::size_t block_bytes = 2 << 20;
+  std::size_t chunk_bytes = 256 << 10;
+  std::size_t total_bytes = 64 << 20;
+  core::ApiMode api = core::ApiMode::kBlocking;
+  std::uint64_t seed = 7;
+};
+
+struct BlockIoResult {
+  LatencyHistogram write_block_latency;
+  LatencyHistogram read_block_latency;
+  std::uint64_t blocks = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t verify_failures = 0;
+};
+
+/// Writes the dataset block by block (each block split into chunks, chunks
+/// issued with the configured API, completion awaited per block), then reads
+/// it all back the same way, verifying every chunk.
+BlockIoResult run_block_io(client::Client& client, const BlockIoConfig& config);
+
+}  // namespace hykv::workload

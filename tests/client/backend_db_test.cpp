@@ -1,0 +1,63 @@
+#include "client/backend_db.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "common/sim_time.hpp"
+
+namespace hykv::client {
+namespace {
+
+class BackendDbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim::init_precise_timing();
+    sim::set_time_scale(0.0);
+  }
+  void TearDown() override { sim::set_time_scale(1.0); }
+};
+
+TEST_F(BackendDbTest, PutFetchRoundTrip) {
+  BackendDb db;
+  db.put("k", make_value(1, 100));
+  const auto got = db.fetch("k");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, make_value(1, 100));
+  EXPECT_EQ(db.fetches(), 1u);
+}
+
+TEST_F(BackendDbTest, MissingKeyWithoutResolver) {
+  BackendDb db;
+  EXPECT_FALSE(db.fetch("nope").has_value());
+  EXPECT_EQ(db.fetches(), 1u);  // the attempt still counts (and costs)
+}
+
+TEST_F(BackendDbTest, ResolverServesSyntheticData) {
+  BackendDb db({}, [](std::string_view key) -> std::optional<std::vector<char>> {
+    if (key == "gen") return make_value(7, 64);
+    return std::nullopt;
+  });
+  const auto got = db.fetch("gen");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, make_value(7, 64));
+  EXPECT_FALSE(db.fetch("other").has_value());
+}
+
+TEST_F(BackendDbTest, ExplicitPutWinsOverResolver) {
+  BackendDb db({}, [](std::string_view) { return std::optional(make_value(1, 8)); });
+  db.put("k", make_value(2, 8));
+  EXPECT_EQ(*db.fetch("k"), make_value(2, 8));
+}
+
+TEST_F(BackendDbTest, FetchPaysMissPenalty) {
+  sim::set_time_scale(1.0);
+  BackendDbProfile profile;  // ~1.8ms
+  BackendDb db(profile);
+  db.put("k", make_value(1, 1000));
+  const auto start = sim::now();
+  (void)db.fetch("k");
+  EXPECT_GE(sim::now() - start, sim::ms(1));
+}
+
+}  // namespace
+}  // namespace hykv::client

@@ -1,0 +1,56 @@
+#include "client/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.hpp"
+
+namespace hykv::client {
+namespace {
+
+TEST(ServerRingTest, SingleServerGetsEverything) {
+  ServerRing ring({7});
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(ring.select(make_key(i)), 7u);
+  }
+}
+
+TEST(ServerRingTest, SelectionIsDeterministic) {
+  ServerRing a({1, 2, 3, 4});
+  ServerRing b({1, 2, 3, 4});
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.select(make_key(i)), b.select(make_key(i)));
+  }
+}
+
+TEST(ServerRingTest, LoadSpreadIsReasonable) {
+  ServerRing ring({1, 2, 3, 4});
+  std::map<net::EndpointId, int> counts;
+  constexpr int kKeys = 8000;
+  for (std::uint64_t i = 0; i < kKeys; ++i) ++counts[ring.select(make_key(i))];
+  ASSERT_EQ(counts.size(), 4u) << "every server must own some keys";
+  for (const auto& [server, count] : counts) {
+    // Within 2x of fair share in either direction (ketama-style tolerance).
+    EXPECT_GT(count, kKeys / 4 / 2) << server;
+    EXPECT_LT(count, kKeys / 4 * 2) << server;
+  }
+}
+
+TEST(ServerRingTest, RemovingServerOnlyRemapsItsKeys) {
+  // Consistent hashing property: keys owned by surviving servers keep their
+  // placement when one server leaves.
+  ServerRing full({1, 2, 3, 4});
+  ServerRing reduced({1, 2, 3});
+  int moved_but_should_not = 0;
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    const auto key = make_key(i);
+    const auto before = full.select(key);
+    if (before == 4) continue;  // these must remap somewhere
+    if (reduced.select(key) != before) ++moved_but_should_not;
+  }
+  EXPECT_EQ(moved_but_should_not, 0);
+}
+
+}  // namespace
+}  // namespace hykv::client

@@ -1,0 +1,85 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace hykv {
+namespace {
+
+TEST(HistogramTest, EmptyIsZeroed) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min_ns(), 0u);
+  EXPECT_EQ(h.max_ns(), 0u);
+  EXPECT_EQ(h.mean_ns(), 0.0);
+  EXPECT_EQ(h.percentile_ns(99), 0u);
+}
+
+TEST(HistogramTest, BasicStatistics) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record_ns(v * 1000);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min_ns(), 1000u);
+  EXPECT_EQ(h.max_ns(), 100000u);
+  EXPECT_NEAR(h.mean_ns(), 50500.0, 1.0);
+}
+
+TEST(HistogramTest, PercentilesOrderedAndAccurate) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 10000; ++v) h.record_ns(v);
+  const auto p50 = h.percentile_ns(50);
+  const auto p90 = h.percentile_ns(90);
+  const auto p99 = h.percentile_ns(99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  // Log-linear buckets with 5 sub-bucket bits: <= ~3.2% relative error.
+  EXPECT_NEAR(static_cast<double>(p50), 5000.0, 5000.0 * 0.04);
+  EXPECT_NEAR(static_cast<double>(p99), 9900.0, 9900.0 * 0.04);
+}
+
+TEST(HistogramTest, LargeValuesDoNotOverflowBuckets) {
+  LatencyHistogram h;
+  h.record_ns(UINT64_MAX);
+  h.record_ns(1);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max_ns(), UINT64_MAX);
+  EXPECT_GE(h.percentile_ns(100), h.percentile_ns(0));
+}
+
+TEST(HistogramTest, MergeCombines) {
+  LatencyHistogram a, b;
+  for (int i = 0; i < 100; ++i) a.record_ns(100);
+  for (int i = 0; i < 100; ++i) b.record_ns(10000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min_ns(), 100u);
+  EXPECT_EQ(a.max_ns(), 10000u);
+  EXPECT_NEAR(a.mean_ns(), 5050.0, 1.0);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  LatencyHistogram h;
+  h.record_ns(123);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile_ns(50), 0u);
+}
+
+TEST(HistogramTest, RecordChronoAndNegativeClamps) {
+  LatencyHistogram h;
+  h.record(std::chrono::microseconds(5));
+  h.record(std::chrono::nanoseconds(-10));  // clamped to 0
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min_ns(), 0u);
+  EXPECT_EQ(h.max_ns(), 5000u);
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  LatencyHistogram h;
+  for (int i = 0; i < 42; ++i) h.record_ns(1000);
+  EXPECT_NE(h.summary().find("n=42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hykv

@@ -1,0 +1,137 @@
+#include "common/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <vector>
+
+namespace hykv {
+namespace {
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    (void)c.next();
+  }
+  Rng a2(42), c2(43);
+  EXPECT_NE(a2.next(), c2.next());
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(1);
+  for (const std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBelowRoughlyUniform) {
+  Rng rng(7);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.next_below(kBuckets)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, FillIsPrintableAndDeterministic) {
+  Rng a(5), b(5);
+  std::vector<char> ba(257), bb(257);
+  a.fill(ba.data(), ba.size());
+  b.fill(bb.data(), bb.size());
+  EXPECT_EQ(ba, bb);
+  for (const char c : ba) {
+    EXPECT_GE(c, '!');
+    EXPECT_LE(c, '!' + 63);
+  }
+}
+
+TEST(ZipfTest, BoundsRespected) {
+  ZipfGenerator zipf(1000, 0.99, 11);
+  for (int i = 0; i < 100000; ++i) EXPECT_LT(zipf.next(), 1000u);
+}
+
+TEST(ZipfTest, RankZeroIsHottest) {
+  ZipfGenerator zipf(10000, 0.99, 13);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 200000; ++i) ++counts[zipf.next()];
+  const auto hottest =
+      std::max_element(counts.begin(), counts.end(),
+                       [](auto& a, auto& b) { return a.second < b.second; });
+  EXPECT_EQ(hottest->first, 0u);
+  // Zipf(0.99): rank 0 should take several percent of all accesses.
+  EXPECT_GT(hottest->second, 200000 / 50);
+}
+
+TEST(ZipfTest, FrequencyDecreasesOverTopRanks) {
+  ZipfGenerator zipf(1000, 0.99, 17);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 500000; ++i) ++counts[zipf.next()];
+  // Aggregate over rank bands to smooth noise: band i must dominate band i+1.
+  auto band = [&](std::size_t lo, std::size_t hi) {
+    return std::accumulate(counts.begin() + static_cast<long>(lo),
+                           counts.begin() + static_cast<long>(hi), 0);
+  };
+  EXPECT_GT(band(0, 10), band(10, 100));
+  EXPECT_GT(band(10, 100), band(500, 590));
+}
+
+TEST(ZipfTest, HigherThetaIsMoreSkewed) {
+  auto head_mass = [](double theta) {
+    ZipfGenerator zipf(10000, theta, 23);
+    int head = 0;
+    constexpr int kSamples = 100000;
+    for (int i = 0; i < kSamples; ++i) {
+      if (zipf.next() < 10) ++head;
+    }
+    return head;
+  };
+  EXPECT_GT(head_mass(0.99), head_mass(0.5));
+}
+
+TEST(ScrambledZipfTest, BoundsAndSkewPreserved) {
+  ScrambledZipfGenerator gen(5000, 0.99, 29);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 200000; ++i) {
+    const auto v = gen.next();
+    ASSERT_LT(v, 5000u);
+    ++counts[v];
+  }
+  // Still skewed: some key far above uniform share.
+  const auto hottest =
+      std::max_element(counts.begin(), counts.end(),
+                       [](auto& a, auto& b) { return a.second < b.second; });
+  EXPECT_GT(hottest->second, 200000 / 5000 * 10);
+}
+
+TEST(KeyValueHelpersTest, StableAndSized) {
+  EXPECT_EQ(make_key(0), "key-0000000000000000");
+  EXPECT_EQ(make_key(255), "key-00000000000000ff");
+  EXPECT_EQ(make_key(7).size(), 20u);
+
+  const auto v1 = make_value(42, 1024);
+  const auto v2 = make_value(42, 1024);
+  const auto v3 = make_value(43, 1024);
+  EXPECT_EQ(v1.size(), 1024u);
+  EXPECT_EQ(v1, v2);
+  EXPECT_NE(v1, v3);
+}
+
+}  // namespace
+}  // namespace hykv

@@ -1,0 +1,123 @@
+#include "core/testbed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "common/sim_time.hpp"
+
+#include <chrono>
+#include <thread>
+#include "core/design.hpp"
+
+namespace hykv::core {
+namespace {
+
+TEST(DesignTest, PredicatesMatchTableI) {
+  // Table I, row by row.
+  EXPECT_FALSE(uses_rdma(Design::kIpoibMem));
+  EXPECT_FALSE(is_hybrid(Design::kIpoibMem));
+  EXPECT_TRUE(uses_rdma(Design::kRdmaMem));
+  EXPECT_FALSE(is_hybrid(Design::kRdmaMem));
+  EXPECT_TRUE(uses_rdma(Design::kHRdmaDef));
+  EXPECT_TRUE(is_hybrid(Design::kHRdmaDef));
+  EXPECT_EQ(io_policy(Design::kHRdmaDef), store::IoPolicy::kDirectAll);
+  EXPECT_EQ(io_policy(Design::kHRdmaOptBlock), store::IoPolicy::kAdaptive);
+  EXPECT_FALSE(async_server(Design::kHRdmaOptBlock));
+  EXPECT_TRUE(async_server(Design::kHRdmaOptNonbB));
+  EXPECT_TRUE(async_server(Design::kHRdmaOptNonbI));
+  EXPECT_EQ(api_mode(Design::kHRdmaOptNonbB), ApiMode::kNonBlockingB);
+  EXPECT_EQ(api_mode(Design::kHRdmaOptNonbI), ApiMode::kNonBlockingI);
+  EXPECT_EQ(api_mode(Design::kHRdmaDef), ApiMode::kBlocking);
+}
+
+TEST(DesignTest, NamesMatchPaper) {
+  EXPECT_EQ(to_string(Design::kIpoibMem), "IPoIB-Mem");
+  EXPECT_EQ(to_string(Design::kRdmaMem), "RDMA-Mem");
+  EXPECT_EQ(to_string(Design::kHRdmaDef), "H-RDMA-Def");
+  EXPECT_EQ(to_string(Design::kHRdmaOptBlock), "H-RDMA-Opt-Block");
+  EXPECT_EQ(to_string(Design::kHRdmaOptNonbB), "H-RDMA-Opt-NonB-b");
+  EXPECT_EQ(to_string(Design::kHRdmaOptNonbI), "H-RDMA-Opt-NonB-i");
+}
+
+TEST(DesignTest, FabricProfileFollowsTransport) {
+  EXPECT_TRUE(fabric_profile(Design::kRdmaMem).one_sided);
+  EXPECT_FALSE(fabric_profile(Design::kIpoibMem).one_sided);
+}
+
+class TestBedAllDesigns : public ::testing::TestWithParam<Design> {
+ protected:
+  void SetUp() override {
+    sim::init_precise_timing();
+    sim::set_time_scale(0.02);
+  }
+  void TearDown() override { sim::set_time_scale(1.0); }
+};
+
+TEST_P(TestBedAllDesigns, SmokeSetGet) {
+  TestBedConfig cfg;
+  cfg.design = GetParam();
+  cfg.total_server_memory = 8 << 20;
+  cfg.slab_bytes = 256 << 10;
+  TestBed bed(cfg);
+  EXPECT_EQ(bed.design(), GetParam());
+  EXPECT_EQ(bed.num_servers(), 1u);
+
+  auto client = bed.make_client("smoke");
+  const auto value = make_value(1, 4096);
+  ASSERT_EQ(client->set("smoke-key", value), StatusCode::kOk);
+  std::vector<char> out;
+  ASSERT_EQ(client->get("smoke-key", out), StatusCode::kOk);
+  EXPECT_EQ(out, value);
+
+  // The server merges an op's stage times *after* sending the response, so
+  // give the last merge a moment to land.
+  for (int i = 0; i < 200 && bed.server_breakdown().ops() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(bed.server_breakdown().ops(), 2u);  // one set + one get handled
+  EXPECT_EQ(bed.store_stats().sets, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSix, TestBedAllDesigns,
+                         ::testing::ValuesIn(kAllDesigns),
+                         [](const auto& param_info) {
+                           std::string name(to_string(param_info.param));
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(TestBedTest, MultiServerSplitsMemoryAndSsd) {
+  sim::ScopedTimeScale scale(0.02);
+  TestBedConfig cfg;
+  cfg.design = Design::kHRdmaDef;
+  cfg.num_servers = 4;
+  cfg.total_server_memory = 16 << 20;
+  cfg.total_ssd_limit = 64 << 20;
+  cfg.slab_bytes = 256 << 10;
+  TestBed bed(cfg);
+  EXPECT_EQ(bed.num_servers(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto& manager_cfg = bed.server(i).manager().config();
+    EXPECT_EQ(manager_cfg.slab.memory_limit, 4u << 20);
+    EXPECT_EQ(manager_cfg.ssd_limit, 16u << 20);
+  }
+}
+
+TEST(TestBedTest, ResetMetricsClearsServerSide) {
+  sim::ScopedTimeScale scale(0.02);
+  TestBedConfig cfg;
+  cfg.design = Design::kRdmaMem;
+  cfg.total_server_memory = 8 << 20;
+  TestBed bed(cfg);
+  auto client = bed.make_client("c");
+  ASSERT_EQ(client->set("k", make_value(1, 128)), StatusCode::kOk);
+  EXPECT_GT(bed.server_breakdown().ops(), 0u);
+  bed.reset_metrics();
+  EXPECT_EQ(bed.server_breakdown().ops(), 0u);
+  EXPECT_EQ(bed.server(0).counters().requests, 0u);
+}
+
+}  // namespace
+}  // namespace hykv::core

@@ -1,0 +1,103 @@
+// Robustness: the wire decoders must never crash, over-read, or accept
+// structurally impossible frames, no matter what bytes arrive. Exercised
+// with (a) pure random payloads and (b) truncations/mutations of every valid
+// encoding -- the classic protocol-fuzz corpus.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hpp"
+#include <cstring>
+
+#include "server/protocol.hpp"
+
+namespace hykv::server {
+namespace {
+
+// Sink that stops the optimiser from deleting the touch loops.
+volatile long g_elision_sink = 0;
+
+void decode_everything(std::span<const char> payload) {
+  // Each decoder either returns nullopt or an object whose views stay inside
+  // `payload`. Touch every byte of every returned view to let ASan/valgrind
+  // catch over-reads.
+  auto touch = [&](std::span<const char> view) {
+    long sum = 0;
+    for (const char c : view) sum += c;
+    g_elision_sink = g_elision_sink + sum;
+  };
+  if (const auto set = decode_set(payload)) {
+    touch(std::span<const char>(set->key.data(), set->key.size()));
+    touch(set->value);
+  }
+  if (const auto key = decode_key_request(payload)) {
+    touch(std::span<const char>(key->key.data(), key->key.size()));
+  }
+  if (const auto resp = decode_response(payload)) touch(resp->value);
+  if (const auto counter = decode_counter(payload)) {
+    touch(std::span<const char>(counter->key.data(), counter->key.size()));
+  }
+  if (const auto tr = decode_touch(payload)) {
+    touch(std::span<const char>(tr->key.data(), tr->key.size()));
+  }
+  if (const auto cr = decode_cas(payload)) {
+    touch(std::span<const char>(cr->key.data(), cr->key.size()));
+    touch(cr->value);
+  }
+  (void)decode_counter_value(payload);
+}
+
+TEST(ProtocolFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(0xF022);
+  for (int round = 0; round < 2000; ++round) {
+    const std::size_t len = rng.next_below(200);
+    std::vector<char> payload(len);
+    for (auto& b : payload) b = static_cast<char>(rng.next() & 0xFF);
+    decode_everything(payload);
+  }
+}
+
+TEST(ProtocolFuzzTest, TruncationsOfValidFramesAreRejectedOrSafe) {
+  const auto value = make_value(1, 100);
+  const std::vector<std::vector<char>> corpus = {
+      encode_set({.key = "some-key", .value = value, .flags = 3, .expiration = 60}),
+      encode_key_request("another-key"),
+      encode_response(StatusCode::kOk, 7, value),
+      encode_counter("counter-key", 42),
+      encode_touch("touch-key", 1234),
+      encode_cas({.key = "cas-key", .value = value, .flags = 1,
+                  .expiration = 2, .cas = 99}),
+      encode_counter_value(123456789),
+  };
+  for (const auto& frame : corpus) {
+    for (std::size_t cut = 0; cut <= frame.size(); ++cut) {
+      decode_everything(std::span<const char>(frame.data(), cut));
+    }
+  }
+}
+
+TEST(ProtocolFuzzTest, SingleByteMutationsAreSafe) {
+  Rng rng(0xB17F117);
+  const auto value = make_value(2, 64);
+  auto frame = encode_set({.key = "mutate-me", .value = value, .flags = 1});
+  for (int round = 0; round < 3000; ++round) {
+    auto mutated = frame;
+    mutated[rng.next_below(mutated.size())] = static_cast<char>(rng.next() & 0xFF);
+    decode_everything(mutated);
+  }
+}
+
+TEST(ProtocolFuzzTest, LengthFieldOverflowRejected) {
+  // A key_len of ~4GB with a short payload must not wrap any arithmetic.
+  std::vector<char> evil(16, 0);
+  const std::uint32_t huge = 0xFFFFFFFFu;
+  std::memcpy(evil.data(), &huge, 4);
+  EXPECT_FALSE(decode_set(evil).has_value());
+  EXPECT_FALSE(decode_key_request(evil).has_value());
+  EXPECT_FALSE(decode_counter(evil).has_value());
+  EXPECT_FALSE(decode_touch(evil).has_value());
+  EXPECT_FALSE(decode_cas(evil).has_value());
+}
+
+}  // namespace
+}  // namespace hykv::server

@@ -1,0 +1,79 @@
+#include "server/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+
+namespace hykv::server {
+namespace {
+
+TEST(ProtocolTest, SetRoundTrip) {
+  const auto value = make_value(1, 1000);
+  const auto wire = encode_set(SetRequest{
+      .key = "my-key", .value = value, .flags = 42, .expiration = 3600});
+  const auto decoded = decode_set(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->key, "my-key");
+  EXPECT_TRUE(std::equal(value.begin(), value.end(), decoded->value.begin(),
+                         decoded->value.end()));
+  EXPECT_EQ(decoded->flags, 42u);
+  EXPECT_EQ(decoded->expiration, 3600);
+}
+
+TEST(ProtocolTest, SetEmptyValue) {
+  const auto wire = encode_set(SetRequest{.key = "k", .value = {}, .flags = 0});
+  const auto decoded = decode_set(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->key, "k");
+  EXPECT_TRUE(decoded->value.empty());
+}
+
+TEST(ProtocolTest, KeyRequestRoundTrip) {
+  const auto wire = encode_key_request("some-key");
+  const auto decoded = decode_key_request(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->key, "some-key");
+}
+
+TEST(ProtocolTest, ResponseRoundTripWithValue) {
+  const auto value = make_value(2, 512);
+  const auto wire = encode_response(StatusCode::kOk, 9, value);
+  const auto decoded = decode_response(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->status, StatusCode::kOk);
+  EXPECT_EQ(decoded->flags, 9u);
+  EXPECT_TRUE(std::equal(value.begin(), value.end(), decoded->value.begin(),
+                         decoded->value.end()));
+}
+
+TEST(ProtocolTest, ResponseWithoutValue) {
+  const auto wire = encode_response(StatusCode::kNotFound, 0);
+  const auto decoded = decode_response(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->status, StatusCode::kNotFound);
+  EXPECT_TRUE(decoded->value.empty());
+}
+
+TEST(ProtocolTest, MalformedInputsRejected) {
+  EXPECT_FALSE(decode_set(std::span<const char>{}).has_value());
+  const char short_buf[] = {1, 2, 3};
+  EXPECT_FALSE(decode_set(std::span<const char>(short_buf, 3)).has_value());
+  EXPECT_FALSE(decode_key_request(std::span<const char>(short_buf, 3)).has_value());
+  EXPECT_FALSE(decode_response(std::span<const char>(short_buf, 3)).has_value());
+
+  // key_len larger than remaining payload.
+  std::vector<char> lying(8, 0);
+  const std::uint32_t huge = 1000;
+  std::memcpy(lying.data(), &huge, 4);
+  EXPECT_FALSE(decode_key_request(lying).has_value());
+  EXPECT_FALSE(decode_set(lying).has_value());
+}
+
+TEST(ProtocolTest, KeyRequestTrailingGarbageRejected) {
+  auto wire = encode_key_request("abc");
+  wire.push_back('x');
+  EXPECT_FALSE(decode_key_request(wire).has_value());
+}
+
+}  // namespace
+}  // namespace hykv::server

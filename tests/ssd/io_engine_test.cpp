@@ -1,0 +1,146 @@
+#include "ssd/io_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/sim_time.hpp"
+
+namespace hykv::ssd {
+namespace {
+
+PageCacheConfig roomy_cache() {
+  PageCacheConfig cfg;
+  cfg.dirty_high_watermark = 16 << 20;
+  cfg.dirty_low_watermark = 8 << 20;
+  cfg.memory_limit = 64 << 20;
+  return cfg;
+}
+
+class IoEngineRoundTrip : public ::testing::TestWithParam<IoScheme> {
+ protected:
+  void SetUp() override {
+    sim::init_precise_timing();
+    sim::set_time_scale(0.0);
+  }
+  void TearDown() override { sim::set_time_scale(1.0); }
+};
+
+TEST_P(IoEngineRoundTrip, PreservesBytesAcrossSizes) {
+  StorageStack stack(SsdProfile::sata(), roomy_cache());
+  IoEngine& engine = stack.engine(GetParam());
+  EXPECT_EQ(engine.scheme(), GetParam());
+  for (const std::size_t size : {1u, 512u, 4096u, 32768u, 1048576u}) {
+    const auto id = stack.device().allocate(size).value();
+    const auto payload = make_value(size, size);
+    ASSERT_EQ(engine.write(id, 0, payload), StatusCode::kOk) << size;
+    std::vector<char> out(size);
+    ASSERT_EQ(engine.read(id, 0, out), StatusCode::kOk) << size;
+    EXPECT_EQ(out, payload) << "scheme=" << to_string(GetParam()) << " size=" << size;
+  }
+}
+
+TEST_P(IoEngineRoundTrip, SyncMakesDataDurable) {
+  StorageStack stack(SsdProfile::nvme(), roomy_cache());
+  IoEngine& engine = stack.engine(GetParam());
+  const auto id = stack.device().allocate(4096).value();
+  const auto payload = make_value(77, 4096);
+  ASSERT_EQ(engine.write(id, 0, payload), StatusCode::kOk);
+  engine.sync();
+  // After sync the raw device (no cache involvement) must hold the bytes.
+  std::vector<char> out(4096);
+  ASSERT_EQ(stack.device().read_raw(id, 0, out), StatusCode::kOk);
+  EXPECT_EQ(out, payload);
+  EXPECT_EQ(stack.cache().dirty_bytes(), 0u);
+}
+
+TEST_P(IoEngineRoundTrip, InvalidExtentRejected) {
+  StorageStack stack(SsdProfile::sata(), roomy_cache());
+  IoEngine& engine = stack.engine(GetParam());
+  std::vector<char> out(16);
+  EXPECT_NE(engine.read(999999, 0, out), StatusCode::kOk);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, IoEngineRoundTrip,
+                         ::testing::Values(IoScheme::kDirect, IoScheme::kCached,
+                                           IoScheme::kMmap),
+                         [](const auto& param_info) {
+                           return std::string(to_string(param_info.param));
+                         });
+
+class IoSchemeCostShape : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim::init_precise_timing();
+    sim::set_time_scale(1.0);
+  }
+  void TearDown() override { sim::set_time_scale(1.0); }
+
+  // Mean write cost over `iters` fresh extents.
+  static sim::Nanos write_cost(StorageStack& stack, IoScheme scheme,
+                               std::size_t size, int iters) {
+    IoEngine& engine = stack.engine(scheme);
+    const auto payload = make_value(size, size);
+    sim::Nanos total{0};
+    for (int i = 0; i < iters; ++i) {
+      const auto id = stack.device().allocate(size).value();
+      const auto t0 = sim::now();
+      EXPECT_EQ(engine.write(id, 0, payload), StatusCode::kOk);
+      total += sim::now() - t0;
+    }
+    return total / iters;
+  }
+};
+
+// Fig. 4 of the paper: mmap wins for small evict sizes, cached I/O wins for
+// large ones, direct I/O loses everywhere. These orderings are what the
+// adaptive slab manager exploits.
+TEST_F(IoSchemeCostShape, SmallWritesFavourMmap) {
+  // Steady-state small writes (page already mapped): mmap avoids the write()
+  // syscall cost. Reuse one extent per scheme so the one-time mmap_setup is
+  // excluded, and use enough iterations that scheduler noise (a few us per
+  // op on a busy box) cannot flip the ordering of ~1us-apart costs.
+  StorageStack stack(SsdProfile::sata(), roomy_cache());
+  constexpr std::size_t kSize = 4096;
+  constexpr int kIters = 40;
+  const auto payload = make_value(kSize, kSize);
+  auto steady_cost = [&](IoScheme scheme) {
+    IoEngine& engine = stack.engine(scheme);
+    const auto id = stack.device().allocate(kSize).value();
+    EXPECT_EQ(engine.write(id, 0, payload), StatusCode::kOk);  // warm-up/map
+    const auto t0 = sim::now();
+    for (int i = 0; i < kIters; ++i) {
+      EXPECT_EQ(engine.write(id, 0, payload), StatusCode::kOk);
+    }
+    return (sim::now() - t0) / kIters;
+  };
+  const auto direct = steady_cost(IoScheme::kDirect);
+  const auto cached = steady_cost(IoScheme::kCached);
+  const auto mmap = steady_cost(IoScheme::kMmap);
+  EXPECT_LT(mmap, cached);
+  EXPECT_LT(cached, direct);
+  stack.cache().sync();
+}
+
+TEST_F(IoSchemeCostShape, LargeWritesFavourCached) {
+  StorageStack stack(SsdProfile::sata(), roomy_cache());
+  const auto direct = write_cost(stack, IoScheme::kDirect, 1 << 20, 3);
+  const auto cached = write_cost(stack, IoScheme::kCached, 1 << 20, 3);
+  const auto mmap = write_cost(stack, IoScheme::kMmap, 1 << 20, 3);
+  EXPECT_LT(cached, mmap);
+  EXPECT_LT(mmap, direct);
+  stack.cache().sync();
+}
+
+TEST_F(IoSchemeCostShape, DirectCostTracksDeviceModel) {
+  StorageStack stack(SsdProfile::sata(), roomy_cache());
+  const auto modelled =
+      SsdProfile::sata().write_time(64 << 10) + SsdProfile::sata().sync_barrier;
+  const auto measured = write_cost(stack, IoScheme::kDirect, 64 << 10, 3);
+  EXPECT_GE(measured, modelled);
+  EXPECT_LT(measured, modelled + sim::ms(3));
+}
+
+}  // namespace
+}  // namespace hykv::ssd

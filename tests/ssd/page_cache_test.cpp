@@ -1,0 +1,191 @@
+#include "ssd/page_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/sim_time.hpp"
+
+namespace hykv::ssd {
+namespace {
+
+class PageCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim::init_precise_timing();
+    sim::set_time_scale(0.02);  // keep modelled waits short but non-zero
+  }
+  void TearDown() override { sim::set_time_scale(1.0); }
+
+  PageCacheConfig small_config() {
+    PageCacheConfig cfg;
+    cfg.dirty_high_watermark = 256 << 10;
+    cfg.dirty_low_watermark = 128 << 10;
+    cfg.memory_limit = 1 << 20;
+    return cfg;
+  }
+};
+
+TEST_F(PageCacheTest, WriteThenReadHitsCache) {
+  SsdDevice dev(SsdProfile::sata());
+  PageCache cache(dev, small_config());
+  const auto id = dev.allocate(8192).value();
+  const auto payload = make_value(1, 8192);
+  ASSERT_EQ(cache.write(id, 0, payload), StatusCode::kOk);
+  EXPECT_TRUE(cache.resident(id));
+  std::vector<char> out(8192);
+  ASSERT_EQ(cache.read(id, 0, out), StatusCode::kOk);
+  EXPECT_EQ(out, payload);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST_F(PageCacheTest, MissReadsDeviceAndPopulates) {
+  SsdDevice dev(SsdProfile::sata());
+  PageCache cache(dev, small_config());
+  const auto id = dev.allocate(4096).value();
+  const auto payload = make_value(2, 4096);
+  ASSERT_EQ(dev.write_raw(id, 0, payload), StatusCode::kOk);  // bypass cache
+  EXPECT_FALSE(cache.resident(id));
+  std::vector<char> out(4096);
+  ASSERT_EQ(cache.read(id, 0, out), StatusCode::kOk);
+  EXPECT_EQ(out, payload);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_TRUE(cache.resident(id));  // full-extent read populates
+  ASSERT_EQ(cache.read(id, 0, out), StatusCode::kOk);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST_F(PageCacheTest, SyncDrainsDirtyBytes) {
+  SsdDevice dev(SsdProfile::sata());
+  PageCache cache(dev, small_config());
+  const auto id = dev.allocate(64 << 10).value();
+  ASSERT_EQ(cache.write(id, 0, make_value(3, 64 << 10)), StatusCode::kOk);
+  cache.sync();
+  EXPECT_EQ(cache.dirty_bytes(), 0u);
+  EXPECT_GE(cache.stats().writeback_bytes, std::uint64_t{64 << 10});
+  EXPECT_GE(dev.stats().writes, 1u);  // write-back reached the device
+}
+
+TEST_F(PageCacheTest, ThrottleEngagesAboveHighWatermark) {
+  SsdDevice dev(SsdProfile::sata());
+  PageCacheConfig cfg = small_config();
+  cfg.dirty_high_watermark = 64 << 10;
+  cfg.dirty_low_watermark = 32 << 10;
+  PageCache cache(dev, cfg);
+  // Push several writes well past the watermark; at least one must block on
+  // write-back.
+  for (int i = 0; i < 8; ++i) {
+    const auto id = dev.allocate(64 << 10).value();
+    ASSERT_EQ(cache.write(id, 0, make_value(static_cast<std::uint64_t>(i), 64 << 10)),
+              StatusCode::kOk);
+  }
+  EXPECT_GT(cache.stats().throttled_ns, 0u);
+}
+
+TEST_F(PageCacheTest, CachedWriteIsFasterThanDirect) {
+  sim::set_time_scale(1.0);
+  SsdDevice dev(SsdProfile::sata());
+  PageCacheConfig cfg;
+  cfg.dirty_high_watermark = 8 << 20;  // no throttling in this test
+  cfg.dirty_low_watermark = 4 << 20;
+  PageCache cache(dev, cfg);
+  const auto payload = make_value(9, 256 << 10);
+
+  const auto id1 = dev.allocate(256 << 10).value();
+  const auto t0 = sim::now();
+  ASSERT_EQ(cache.write(id1, 0, payload), StatusCode::kOk);
+  const auto cached_cost = sim::now() - t0;
+
+  const auto id2 = dev.allocate(256 << 10).value();
+  const auto t1 = sim::now();
+  ASSERT_EQ(dev.write(id2, 0, payload), StatusCode::kOk);
+  const auto direct_cost = sim::now() - t1;
+
+  // 256KB: direct ~ 90us + 558us; cached ~ 4us + 31us copy.
+  EXPECT_LT(cached_cost * 3, direct_cost);
+  cache.sync();
+}
+
+TEST_F(PageCacheTest, InvalidateDiscardsDirtyData) {
+  SsdDevice dev(SsdProfile::sata());
+  PageCache cache(dev, small_config());
+  const auto id = dev.allocate(16 << 10).value();
+  ASSERT_EQ(cache.write(id, 0, make_value(4, 16 << 10)), StatusCode::kOk);
+  cache.invalidate(id);
+  EXPECT_EQ(cache.dirty_bytes(), 0u);
+  EXPECT_FALSE(cache.resident(id));
+  cache.sync();  // must not hang on discarded dirty data
+}
+
+TEST_F(PageCacheTest, CleanEntriesEvictedUnderMemoryPressure) {
+  SsdDevice dev(SsdProfile::sata());
+  PageCacheConfig cfg = small_config();
+  cfg.memory_limit = 128 << 10;
+  PageCache cache(dev, cfg);
+  std::vector<ExtentId> ids;
+  for (int i = 0; i < 8; ++i) {
+    const auto id = dev.allocate(64 << 10).value();
+    ids.push_back(id);
+    ASSERT_EQ(cache.write(id, 0, make_value(static_cast<std::uint64_t>(i), 64 << 10)),
+              StatusCode::kOk);
+    cache.sync();  // make the entry clean so it is evictable
+  }
+  EXPECT_GT(cache.stats().evictions, 0u);
+  // Earliest extent should have been evicted; data must still be readable
+  // (from the device) and correct.
+  std::vector<char> out(64 << 10);
+  ASSERT_EQ(cache.read(ids.front(), 0, out), StatusCode::kOk);
+  EXPECT_EQ(out, make_value(0, 64 << 10));
+}
+
+TEST_F(PageCacheTest, MmapWriteReadRoundTrip) {
+  SsdDevice dev(SsdProfile::sata());
+  PageCache cache(dev, small_config());
+  const auto id = dev.allocate(8192).value();
+  const auto payload = make_value(5, 8192);
+  ASSERT_EQ(cache.mmap_write(id, 0, payload), StatusCode::kOk);
+  std::vector<char> out(8192);
+  ASSERT_EQ(cache.mmap_read(id, 0, out), StatusCode::kOk);
+  EXPECT_EQ(out, payload);
+}
+
+TEST_F(PageCacheTest, MmapCheaperThanCachedForSmallWrites) {
+  sim::set_time_scale(1.0);
+  SsdDevice dev(SsdProfile::sata());
+  PageCacheConfig cfg;
+  cfg.dirty_high_watermark = 8 << 20;
+  cfg.dirty_low_watermark = 4 << 20;
+  PageCache cache(dev, cfg);
+  const auto payload = make_value(6, 2048);
+
+  const auto id1 = dev.allocate(2048).value();
+  ASSERT_EQ(cache.mmap_write(id1, 0, payload), StatusCode::kOk);  // map setup
+  sim::Nanos mmap_total{0}, cached_total{0};
+  for (int i = 0; i < 50; ++i) {
+    const auto t0 = sim::now();
+    ASSERT_EQ(cache.mmap_write(id1, 0, payload), StatusCode::kOk);
+    mmap_total += sim::now() - t0;
+  }
+  const auto id2 = dev.allocate(2048).value();
+  for (int i = 0; i < 50; ++i) {
+    const auto t0 = sim::now();
+    ASSERT_EQ(cache.write(id2, 0, payload), StatusCode::kOk);
+    cached_total += sim::now() - t0;
+  }
+  // 2KB: mmap ~ 0.35us page touch + 0.24us copy; cached ~ 4us syscall + copy.
+  EXPECT_LT(mmap_total, cached_total);
+  cache.sync();
+}
+
+TEST_F(PageCacheTest, PartialWriteDoesNotClaimResidency) {
+  SsdDevice dev(SsdProfile::sata());
+  PageCache cache(dev, small_config());
+  const auto id = dev.allocate(8192).value();
+  ASSERT_EQ(cache.write(id, 0, make_value(7, 100)), StatusCode::kOk);
+  EXPECT_FALSE(cache.resident(id));
+}
+
+}  // namespace
+}  // namespace hykv::ssd

@@ -1,0 +1,119 @@
+#include "store/hash_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+
+#include "common/random.hpp"
+
+namespace hykv::store {
+namespace {
+
+TEST(HashMapTest, UpsertFindErase) {
+  HashMap<int> map;
+  EXPECT_EQ(map.find("a"), nullptr);
+  map.upsert("a", 1);
+  map.upsert("b", 2);
+  ASSERT_NE(map.find("a"), nullptr);
+  EXPECT_EQ(*map.find("a"), 1);
+  EXPECT_EQ(*map.find("b"), 2);
+  EXPECT_EQ(map.size(), 2u);
+
+  map.upsert("a", 10);  // overwrite, not duplicate
+  EXPECT_EQ(*map.find("a"), 10);
+  EXPECT_EQ(map.size(), 2u);
+
+  const auto erased = map.erase("a");
+  ASSERT_TRUE(erased.has_value());
+  EXPECT_EQ(*erased, 10);
+  EXPECT_EQ(map.find("a"), nullptr);
+  EXPECT_FALSE(map.erase("a").has_value());
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(HashMapTest, GrowsPastInitialBuckets) {
+  HashMap<int> map(16);
+  const std::size_t initial = map.bucket_count();
+  for (int i = 0; i < 1000; ++i) {
+    map.upsert(make_key(static_cast<std::uint64_t>(i)), i);
+  }
+  EXPECT_GT(map.bucket_count(), initial);
+  for (int i = 0; i < 1000; ++i) {
+    const int* v = map.find(make_key(static_cast<std::uint64_t>(i)));
+    ASSERT_NE(v, nullptr) << i;
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(HashMapTest, ForEachVisitsEverything) {
+  HashMap<int> map;
+  for (int i = 0; i < 100; ++i) map.upsert("k" + std::to_string(i), i);
+  int visits = 0;
+  long sum = 0;
+  map.for_each([&](std::string_view, int& v) {
+    ++visits;
+    sum += v;
+  });
+  EXPECT_EQ(visits, 100);
+  EXPECT_EQ(sum, 99 * 100 / 2);
+}
+
+TEST(HashMapTest, ClearEmpties) {
+  HashMap<int> map;
+  map.upsert("x", 1);
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find("x"), nullptr);
+  map.upsert("x", 2);  // usable after clear
+  EXPECT_EQ(*map.find("x"), 2);
+}
+
+TEST(HashMapTest, EmptyKeySupported) {
+  HashMap<int> map;
+  map.upsert("", 42);
+  ASSERT_NE(map.find(""), nullptr);
+  EXPECT_EQ(*map.find(""), 42);
+}
+
+TEST(HashMapTest, RandomOpsMatchStdUnorderedMap) {
+  // Property test: a random op sequence must behave identically to the
+  // standard container.
+  HashMap<std::uint64_t> map;
+  std::unordered_map<std::string, std::uint64_t> model;
+  Rng rng(2024);
+  for (int op = 0; op < 20000; ++op) {
+    const std::string key = make_key(rng.next_below(500));
+    switch (rng.next_below(3)) {
+      case 0: {
+        const std::uint64_t v = rng.next();
+        map.upsert(key, v);
+        model[key] = v;
+        break;
+      }
+      case 1: {
+        const auto a = map.erase(key);
+        const auto it = model.find(key);
+        EXPECT_EQ(a.has_value(), it != model.end());
+        if (it != model.end()) {
+          EXPECT_EQ(*a, it->second);
+          model.erase(it);
+        }
+        break;
+      }
+      default: {
+        const auto* v = map.find(key);
+        const auto it = model.find(key);
+        ASSERT_EQ(v != nullptr, it != model.end()) << key;
+        if (it != model.end()) {
+          EXPECT_EQ(*v, it->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(map.size(), model.size());
+  }
+}
+
+}  // namespace
+}  // namespace hykv::store

@@ -1,0 +1,371 @@
+#include "store/hybrid_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/sim_time.hpp"
+
+namespace hykv::store {
+namespace {
+
+ssd::PageCacheConfig test_cache() {
+  ssd::PageCacheConfig cfg;
+  cfg.dirty_high_watermark = 4 << 20;
+  cfg.dirty_low_watermark = 2 << 20;
+  cfg.memory_limit = 16 << 20;
+  return cfg;
+}
+
+ManagerConfig base_config(StorageMode mode) {
+  ManagerConfig cfg;
+  cfg.mode = mode;
+  cfg.slab.slab_bytes = 256 << 10;
+  cfg.slab.memory_limit = 2 << 20;  // 2 MB RAM
+  cfg.flush_batch_bytes = 256 << 10;
+  return cfg;
+}
+
+class HybridManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim::init_precise_timing();
+    sim::set_time_scale(0.0);
+  }
+  void TearDown() override { sim::set_time_scale(1.0); }
+
+  StatusCode set(HybridSlabManager& m, std::uint64_t i, std::size_t size,
+                 std::int64_t expiration = 0) {
+    return m.set(make_key(i), make_value(i, size), static_cast<std::uint32_t>(i),
+                 expiration);
+  }
+
+  ::testing::AssertionResult get_matches(HybridSlabManager& m, std::uint64_t i,
+                                         std::size_t size) {
+    std::vector<char> out;
+    std::uint32_t flags = 0;
+    const StatusCode code = m.get(make_key(i), out, flags);
+    if (!ok(code)) {
+      return ::testing::AssertionFailure()
+             << "get(" << i << ") -> " << to_string(code);
+    }
+    if (out != make_value(i, size)) {
+      return ::testing::AssertionFailure() << "value mismatch for " << i;
+    }
+    if (flags != static_cast<std::uint32_t>(i)) {
+      return ::testing::AssertionFailure() << "flags mismatch for " << i;
+    }
+    return ::testing::AssertionSuccess();
+  }
+};
+
+TEST_F(HybridManagerTest, SetGetDeleteInMemory) {
+  HybridSlabManager m(base_config(StorageMode::kInMemory), nullptr);
+  EXPECT_EQ(set(m, 1, 1000), StatusCode::kOk);
+  EXPECT_TRUE(get_matches(m, 1, 1000));
+  EXPECT_TRUE(m.exists(make_key(1)));
+  EXPECT_EQ(m.item_count(), 1u);
+
+  EXPECT_EQ(m.del(make_key(1)), StatusCode::kOk);
+  EXPECT_FALSE(m.exists(make_key(1)));
+  EXPECT_EQ(m.del(make_key(1)), StatusCode::kNotFound);
+
+  std::vector<char> out;
+  std::uint32_t flags;
+  EXPECT_EQ(m.get(make_key(1), out, flags), StatusCode::kNotFound);
+  EXPECT_EQ(m.stats().misses, 1u);
+}
+
+TEST_F(HybridManagerTest, OverwriteReplacesValueAndFlags) {
+  HybridSlabManager m(base_config(StorageMode::kInMemory), nullptr);
+  ASSERT_EQ(m.set("k", make_value(1, 100), 1, 0), StatusCode::kOk);
+  ASSERT_EQ(m.set("k", make_value(2, 5000), 2, 0), StatusCode::kOk);  // class change
+  std::vector<char> out;
+  std::uint32_t flags = 0;
+  ASSERT_EQ(m.get("k", out, flags), StatusCode::kOk);
+  EXPECT_EQ(out, make_value(2, 5000));
+  EXPECT_EQ(flags, 2u);
+  EXPECT_EQ(m.item_count(), 1u);
+}
+
+TEST_F(HybridManagerTest, InvalidArguments) {
+  HybridSlabManager m(base_config(StorageMode::kInMemory), nullptr);
+  EXPECT_EQ(m.set("", make_value(1, 10), 0, 0), StatusCode::kInvalidArgument);
+  // Item larger than a slab page cannot be stored.
+  EXPECT_EQ(m.set("big", make_value(1, 512 << 10), 0, 0),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(HybridManagerTest, NegativeExpirationIsImmediatelyExpired) {
+  HybridSlabManager m(base_config(StorageMode::kInMemory), nullptr);
+  ASSERT_EQ(set(m, 1, 100, -5), StatusCode::kOk);
+  std::vector<char> out;
+  std::uint32_t flags;
+  EXPECT_EQ(m.get(make_key(1), out, flags), StatusCode::kNotFound);
+  EXPECT_EQ(m.stats().expired, 1u);
+  EXPECT_FALSE(m.exists(make_key(1)));
+}
+
+TEST_F(HybridManagerTest, InMemoryEvictsLruUnderPressure) {
+  HybridSlabManager m(base_config(StorageMode::kInMemory), nullptr);
+  constexpr std::size_t kSize = 30 << 10;  // ~8 items per 256KB page, 64 fit in 2MB
+  constexpr std::uint64_t kCount = 120;    // well beyond capacity
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(set(m, i, kSize), StatusCode::kOk) << i;
+  }
+  const auto stats = m.stats();
+  EXPECT_GT(stats.dropped_evictions, 0u);
+  EXPECT_EQ(stats.flushes, 0u);
+  // Most recently written keys survive; the very first were dropped.
+  EXPECT_TRUE(get_matches(m, kCount - 1, kSize));
+  EXPECT_FALSE(m.exists(make_key(0)));
+}
+
+TEST_F(HybridManagerTest, HybridRetainsEverythingOnSsd) {
+  ssd::StorageStack storage(SsdProfile::sata(), test_cache());
+  HybridSlabManager m(base_config(StorageMode::kHybrid), &storage);
+  constexpr std::size_t kSize = 30 << 10;
+  constexpr std::uint64_t kCount = 120;  // ~3.6MB of values into 2MB RAM
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(set(m, i, kSize), StatusCode::kOk) << i;
+  }
+  auto stats = m.stats();
+  EXPECT_GT(stats.flushes, 0u);
+  EXPECT_GT(stats.flushed_items, 0u);
+  EXPECT_EQ(stats.dropped_evictions, 0u);
+  // Every single key must be retrievable with intact bytes.
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(get_matches(m, i, kSize)) << i;
+  }
+  stats = m.stats();
+  EXPECT_GT(stats.ssd_hits, 0u);
+  EXPECT_GT(stats.ram_hits, 0u);
+  EXPECT_EQ(stats.checksum_failures, 0u);
+  EXPECT_EQ(m.item_count(), kCount);
+}
+
+TEST_F(HybridManagerTest, SsdHitPromotesWhenRoomAvailable) {
+  ssd::StorageStack storage(SsdProfile::sata(), test_cache());
+  ManagerConfig cfg = base_config(StorageMode::kHybrid);
+  cfg.promote_on_hit = true;
+  HybridSlabManager m(cfg, &storage);
+  constexpr std::size_t kSize = 30 << 10;
+  // Fill past RAM so early keys land on SSD.
+  for (std::uint64_t i = 0; i < 120; ++i) ASSERT_EQ(set(m, i, kSize), StatusCode::kOk);
+  // Free plenty of RAM.
+  for (std::uint64_t i = 100; i < 120; ++i) ASSERT_EQ(m.del(make_key(i)), StatusCode::kOk);
+  ASSERT_TRUE(get_matches(m, 0, kSize));  // SSD hit -> promotion
+  const auto stats = m.stats();
+  EXPECT_GE(stats.promotions, 1u);
+  ASSERT_TRUE(get_matches(m, 0, kSize));  // now served from RAM
+  EXPECT_EQ(m.stats().ssd_hits, stats.ssd_hits);
+  EXPECT_EQ(m.stats().ram_hits, stats.ram_hits + 1);
+}
+
+TEST_F(HybridManagerTest, PromotionDisabledKeepsItemsOnSsd) {
+  ssd::StorageStack storage(SsdProfile::sata(), test_cache());
+  ManagerConfig cfg = base_config(StorageMode::kHybrid);
+  cfg.promote_on_hit = false;
+  HybridSlabManager m(cfg, &storage);
+  constexpr std::size_t kSize = 30 << 10;
+  for (std::uint64_t i = 0; i < 120; ++i) ASSERT_EQ(set(m, i, kSize), StatusCode::kOk);
+  for (std::uint64_t i = 100; i < 120; ++i) ASSERT_EQ(m.del(make_key(i)), StatusCode::kOk);
+  ASSERT_TRUE(get_matches(m, 0, kSize));
+  ASSERT_TRUE(get_matches(m, 0, kSize));
+  EXPECT_EQ(m.stats().promotions, 0u);
+  EXPECT_GE(m.stats().ssd_hits, 2u);
+}
+
+TEST_F(HybridManagerTest, DirectPolicyWritesDeviceSynchronously) {
+  ssd::StorageStack storage(SsdProfile::sata(), test_cache());
+  ManagerConfig cfg = base_config(StorageMode::kHybrid);
+  cfg.io_policy = IoPolicy::kDirectAll;
+  HybridSlabManager m(cfg, &storage);
+  for (std::uint64_t i = 0; i < 120; ++i) ASSERT_EQ(set(m, i, 30 << 10), StatusCode::kOk);
+  EXPECT_GT(m.stats().flushes, 0u);
+  // Direct I/O: device writes happen inline with the flush.
+  EXPECT_GE(storage.device().stats().writes, m.stats().flushes);
+  EXPECT_EQ(storage.cache().dirty_bytes(), 0u);
+}
+
+TEST_F(HybridManagerTest, AdaptivePolicyUsesPageCacheForSmallClasses) {
+  ssd::StorageStack storage(SsdProfile::sata(), test_cache());
+  ManagerConfig cfg = base_config(StorageMode::kHybrid);
+  cfg.io_policy = IoPolicy::kAdaptive;
+  cfg.adaptive_threshold = 64 << 10;  // 30KB items -> mmap scheme
+  HybridSlabManager m(cfg, &storage);
+  for (std::uint64_t i = 0; i < 120; ++i) ASSERT_EQ(set(m, i, 30 << 10), StatusCode::kOk);
+  ASSERT_GT(m.stats().flushes, 0u);
+  // mmap/cached writes land in the page cache; write-back is asynchronous.
+  // All data must still be readable and intact.
+  for (std::uint64_t i = 0; i < 120; ++i) ASSERT_TRUE(get_matches(m, i, 30 << 10));
+  m.sync_storage();
+  EXPECT_EQ(storage.cache().dirty_bytes(), 0u);
+}
+
+TEST_F(HybridManagerTest, SsdLimitFallsBackToDropping) {
+  ssd::StorageStack storage(SsdProfile::sata(), test_cache());
+  ManagerConfig cfg = base_config(StorageMode::kHybrid);
+  cfg.ssd_limit = 512 << 10;  // half a MB of SSD only
+  HybridSlabManager m(cfg, &storage);
+  for (std::uint64_t i = 0; i < 200; ++i) ASSERT_EQ(set(m, i, 30 << 10), StatusCode::kOk);
+  const auto stats = m.stats();
+  EXPECT_GT(stats.dropped_evictions, 0u);
+  EXPECT_LE(stats.ssd_live_bytes, 512u << 10);
+}
+
+TEST_F(HybridManagerTest, DeleteReclaimsSsdSpaceEventually) {
+  ssd::StorageStack storage(SsdProfile::sata(), test_cache());
+  HybridSlabManager m(base_config(StorageMode::kHybrid), &storage);
+  for (std::uint64_t i = 0; i < 120; ++i) ASSERT_EQ(set(m, i, 30 << 10), StatusCode::kOk);
+  const std::size_t used_before = storage.device().used_bytes();
+  ASSERT_GT(used_before, 0u);
+  for (std::uint64_t i = 0; i < 120; ++i) m.del(make_key(i));
+  // All records dead -> all extents freed (TRIM).
+  EXPECT_EQ(storage.device().used_bytes(), 0u);
+  EXPECT_EQ(m.item_count(), 0u);
+}
+
+TEST_F(HybridManagerTest, ClearEmptiesBothTiers) {
+  ssd::StorageStack storage(SsdProfile::sata(), test_cache());
+  HybridSlabManager m(base_config(StorageMode::kHybrid), &storage);
+  for (std::uint64_t i = 0; i < 120; ++i) ASSERT_EQ(set(m, i, 30 << 10), StatusCode::kOk);
+  m.clear();
+  EXPECT_EQ(m.item_count(), 0u);
+  EXPECT_FALSE(m.exists(make_key(0)));
+  EXPECT_EQ(storage.device().used_bytes(), 0u);
+  // Still usable after clear (same slab class: pages stay carved).
+  ASSERT_EQ(set(m, 7, 30 << 10), StatusCode::kOk);
+  EXPECT_TRUE(get_matches(m, 7, 30 << 10));
+}
+
+TEST_F(HybridManagerTest, StageBreakdownAttributesFlushToSlabAllocation) {
+  sim::set_time_scale(0.05);
+  ssd::StorageStack storage(SsdProfile::sata(), test_cache());
+  ManagerConfig cfg = base_config(StorageMode::kHybrid);
+  cfg.io_policy = IoPolicy::kDirectAll;
+  HybridSlabManager m(cfg, &storage);
+  StageBreakdown stages;
+  for (std::uint64_t i = 0; i < 120; ++i) {
+    ASSERT_EQ(m.set(make_key(i), make_value(i, 30 << 10),
+                    static_cast<std::uint32_t>(i), 0, &stages),
+              StatusCode::kOk);
+    stages.add_ops();
+  }
+  // Flush I/O dominates: slab-allocation stage must dwarf cache-update.
+  EXPECT_GT(stages.total_ns(Stage::kSlabAllocation),
+            stages.total_ns(Stage::kCacheUpdate) * 5);
+
+  StageBreakdown get_stages;
+  std::vector<char> out;
+  std::uint32_t flags;
+  // Coldest keys are on SSD: the load lands in CacheCheck+Load.
+  ASSERT_EQ(m.get(make_key(0), out, flags, &get_stages), StatusCode::kOk);
+  get_stages.add_ops();
+  // SATA read of ~30KB is ~168us modelled, ~8.4us at scale 0.05; well above
+  // the sub-microsecond cost of a RAM lookup.
+  EXPECT_GT(get_stages.total_ns(Stage::kCacheCheckLoad), 5000u);
+}
+
+TEST_F(HybridManagerTest, RandomOpsMatchModelHybrid) {
+  // Property test: with ample SSD, the hybrid tier is lossless -- any random
+  // op sequence must match a std::unordered_map model exactly.
+  ssd::StorageStack storage(SsdProfile::sata(), test_cache());
+  HybridSlabManager m(base_config(StorageMode::kHybrid), &storage);
+  std::unordered_map<std::string, std::uint64_t> model;  // key -> value seed
+  Rng rng(77);
+  for (int op = 0; op < 4000; ++op) {
+    const std::uint64_t id = rng.next_below(200);
+    const std::string key = make_key(id);
+    // Sizes confined to one slab class: the hybrid tier is lossless only
+    // while its class can keep flushing (multi-class calcification is
+    // covered by MultiClassCalcificationFailsGracefully).
+    const std::size_t size = 23000 + rng.next_below(5000);
+    switch (rng.next_below(4)) {
+      case 0:
+      case 1: {  // set (50%)
+        const std::uint64_t seed = rng.next();
+        ASSERT_EQ(m.set(key, make_value(seed, size), 0, 0), StatusCode::kOk);
+        model[key] = seed;
+        model[key + "#s"] = size;  // remember size under a shadow key
+        break;
+      }
+      case 2: {  // del
+        const StatusCode code = m.del(key);
+        EXPECT_EQ(ok(code), model.erase(key) > 0);
+        model.erase(key + "#s");
+        break;
+      }
+      default: {  // get
+        std::vector<char> out;
+        std::uint32_t flags;
+        const StatusCode code = m.get(key, out, flags);
+        const auto it = model.find(key);
+        ASSERT_EQ(ok(code), it != model.end()) << key;
+        if (it != model.end()) {
+          const std::size_t expect_size =
+              static_cast<std::size_t>(model.at(key + "#s"));
+          ASSERT_EQ(out, make_value(it->second, expect_size));
+        }
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(m.stats().checksum_failures, 0u);
+  EXPECT_EQ(m.stats().dropped_evictions, 0u);
+}
+
+TEST_F(HybridManagerTest, MultiClassCalcificationFailsGracefully) {
+  // All slab pages get carved for one class; a second class then cannot
+  // allocate and must fail cleanly (memcached's slab calcification), leaving
+  // existing data intact.
+  ssd::StorageStack storage(SsdProfile::sata(), test_cache());
+  HybridSlabManager m(base_config(StorageMode::kHybrid), &storage);
+  for (std::uint64_t i = 0; i < 120; ++i) {
+    ASSERT_EQ(set(m, i, 30 << 10), StatusCode::kOk);
+  }
+  // A tiny item needs a fresh page for its class; none is left.
+  EXPECT_EQ(m.set("tiny", make_value(1, 64), 0, 0), StatusCode::kOutOfMemory);
+  // The store remains fully functional for the established class.
+  EXPECT_TRUE(get_matches(m, 0, 30 << 10));
+  ASSERT_EQ(set(m, 500, 30 << 10), StatusCode::kOk);
+}
+
+TEST_F(HybridManagerTest, ConcurrentDisjointWorkloadsStayConsistent) {
+  ssd::StorageStack storage(SsdProfile::sata(), test_cache());
+  HybridSlabManager m(base_config(StorageMode::kHybrid), &storage);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 60;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const std::uint64_t base = static_cast<std::uint64_t>(t) * 1000;
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        if (!ok(m.set(make_key(base + i), make_value(base + i, 20 << 10),
+                      0, 0))) {
+          ++failures;
+        }
+      }
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        std::vector<char> out;
+        std::uint32_t flags;
+        if (!ok(m.get(make_key(base + i), out, flags)) ||
+            out != make_value(base + i, 20 << 10)) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(m.item_count(), kThreads * kPerThread);
+  EXPECT_EQ(m.stats().checksum_failures, 0u);
+}
+
+}  // namespace
+}  // namespace hykv::store

@@ -1,0 +1,122 @@
+#include "store/item.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace hykv::store {
+namespace {
+
+TEST(ItemTest, FormatAndReadBack) {
+  std::vector<char> chunk(item_total_size(5, 100));
+  const auto value = make_value(1, 100);
+  ItemHeader* item = format_item(chunk.data(), "hello", value, 7, 99, 3);
+  EXPECT_EQ(item->key(), "hello");
+  EXPECT_EQ(item->value_len, 100u);
+  EXPECT_TRUE(std::equal(value.begin(), value.end(), item->value_data()));
+  EXPECT_EQ(item->flags, 7u);
+  EXPECT_EQ(item->expiry, 99);
+  EXPECT_EQ(item->slab_class, 3u);
+  EXPECT_EQ(item->lru_prev, nullptr);
+  EXPECT_EQ(item->lru_next, nullptr);
+}
+
+TEST(ItemTest, EmptyValueSupported) {
+  std::vector<char> chunk(item_total_size(3, 0));
+  ItemHeader* item = format_item(chunk.data(), "abc", {}, 0, 0, 0);
+  EXPECT_EQ(item->key(), "abc");
+  EXPECT_EQ(item->value().size(), 0u);
+}
+
+TEST(ItemTest, TotalSizeIncludesHeader) {
+  EXPECT_EQ(item_total_size(10, 20), sizeof(ItemHeader) + 30);
+  EXPECT_EQ(SsdItemFraming::record_size(10, 20),
+            SsdItemFraming::kHeaderBytes + 30);
+}
+
+class LruListTest : public ::testing::Test {
+ protected:
+  ItemHeader* make(int i) {
+    chunks_.push_back(std::vector<char>(item_total_size(1, 0)));
+    const char key = static_cast<char>('a' + i);
+    return format_item(chunks_.back().data(), std::string_view(&key, 1), {}, 0,
+                       0, 0);
+  }
+  std::vector<std::vector<char>> chunks_;
+};
+
+TEST_F(LruListTest, PushFrontOrders) {
+  LruList lru;
+  EXPECT_TRUE(lru.empty());
+  auto* a = make(0);
+  auto* b = make(1);
+  auto* c = make(2);
+  lru.push_front(a);
+  lru.push_front(b);
+  lru.push_front(c);
+  EXPECT_EQ(lru.front(), c);
+  EXPECT_EQ(lru.tail(), a);
+  EXPECT_EQ(lru.size(), 3u);
+}
+
+TEST_F(LruListTest, MoveToFrontPromotes) {
+  LruList lru;
+  auto* a = make(0);
+  auto* b = make(1);
+  auto* c = make(2);
+  lru.push_front(a);
+  lru.push_front(b);
+  lru.push_front(c);  // order: c b a
+  lru.move_to_front(a);
+  EXPECT_EQ(lru.front(), a);
+  EXPECT_EQ(lru.tail(), b);
+  lru.move_to_front(a);  // already front: no-op
+  EXPECT_EQ(lru.front(), a);
+  EXPECT_EQ(lru.size(), 3u);
+}
+
+TEST_F(LruListTest, RemoveMiddleHeadTail) {
+  LruList lru;
+  auto* a = make(0);
+  auto* b = make(1);
+  auto* c = make(2);
+  lru.push_front(a);
+  lru.push_front(b);
+  lru.push_front(c);  // c b a
+  lru.remove(b);      // middle
+  EXPECT_EQ(lru.front(), c);
+  EXPECT_EQ(lru.tail(), a);
+  lru.remove(c);  // head
+  EXPECT_EQ(lru.front(), a);
+  EXPECT_EQ(lru.tail(), a);
+  lru.remove(a);  // tail == head
+  EXPECT_TRUE(lru.empty());
+  EXPECT_EQ(lru.front(), nullptr);
+  EXPECT_EQ(lru.tail(), nullptr);
+}
+
+TEST_F(LruListTest, EvictionOrderIsLeastRecentFirst) {
+  LruList lru;
+  std::vector<ItemHeader*> items;
+  for (int i = 0; i < 10; ++i) {
+    items.push_back(make(i));
+    lru.push_front(items.back());
+  }
+  // Touch items 0..4 (in insertion order they are the oldest).
+  for (int i = 0; i < 5; ++i) lru.move_to_front(items[static_cast<std::size_t>(i)]);
+  // Tail must now be item 5 (oldest untouched).
+  EXPECT_EQ(lru.tail(), items[5]);
+}
+
+TEST_F(LruListTest, ClearResets) {
+  LruList lru;
+  lru.push_front(make(0));
+  lru.clear();
+  EXPECT_TRUE(lru.empty());
+  EXPECT_EQ(lru.size(), 0u);
+}
+
+}  // namespace
+}  // namespace hykv::store
