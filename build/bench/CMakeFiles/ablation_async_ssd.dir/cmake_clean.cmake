@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_async_ssd.dir/ablation_async_ssd.cpp.o"
+  "CMakeFiles/ablation_async_ssd.dir/ablation_async_ssd.cpp.o.d"
+  "ablation_async_ssd"
+  "ablation_async_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_async_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_overall_latency.dir/fig1_overall_latency.cpp.o"
+  "CMakeFiles/fig1_overall_latency.dir/fig1_overall_latency.cpp.o.d"
+  "fig1_overall_latency"
+  "fig1_overall_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_overall_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

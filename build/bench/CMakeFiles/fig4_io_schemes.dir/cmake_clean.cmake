@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_io_schemes.dir/fig4_io_schemes.cpp.o"
+  "CMakeFiles/fig4_io_schemes.dir/fig4_io_schemes.cpp.o.d"
+  "fig4_io_schemes"
+  "fig4_io_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_io_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_breakdown_opt.dir/fig6_breakdown_opt.cpp.o"
+  "CMakeFiles/fig6_breakdown_opt.dir/fig6_breakdown_opt.cpp.o.d"
+  "fig6_breakdown_opt"
+  "fig6_breakdown_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_breakdown_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

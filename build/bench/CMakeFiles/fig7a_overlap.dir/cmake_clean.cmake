@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_overlap.dir/fig7a_overlap.cpp.o"
+  "CMakeFiles/fig7a_overlap.dir/fig7a_overlap.cpp.o.d"
+  "fig7a_overlap"
+  "fig7a_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

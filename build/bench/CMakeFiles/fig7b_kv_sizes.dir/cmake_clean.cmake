@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_kv_sizes.dir/fig7b_kv_sizes.cpp.o"
+  "CMakeFiles/fig7b_kv_sizes.dir/fig7b_kv_sizes.cpp.o.d"
+  "fig7b_kv_sizes"
+  "fig7b_kv_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_kv_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

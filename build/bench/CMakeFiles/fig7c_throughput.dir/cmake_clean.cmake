@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7c_throughput.dir/fig7c_throughput.cpp.o"
+  "CMakeFiles/fig7c_throughput.dir/fig7c_throughput.cpp.o.d"
+  "fig7c_throughput"
+  "fig7c_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7c_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

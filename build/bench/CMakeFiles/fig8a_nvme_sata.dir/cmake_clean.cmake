@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_nvme_sata.dir/fig8a_nvme_sata.cpp.o"
+  "CMakeFiles/fig8a_nvme_sata.dir/fig8a_nvme_sata.cpp.o.d"
+  "fig8a_nvme_sata"
+  "fig8a_nvme_sata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_nvme_sata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_bursty.dir/fig8b_bursty.cpp.o"
+  "CMakeFiles/fig8b_bursty.dir/fig8b_bursty.cpp.o.d"
+  "fig8b_bursty"
+  "fig8b_bursty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_bursty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/listing2_compat.dir/listing2_compat.cpp.o"
+  "CMakeFiles/listing2_compat.dir/listing2_compat.cpp.o.d"
+  "listing2_compat"
+  "listing2_compat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/listing2_compat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

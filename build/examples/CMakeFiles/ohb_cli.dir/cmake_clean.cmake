@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ohb_cli.dir/ohb_cli.cpp.o"
+  "CMakeFiles/ohb_cli.dir/ohb_cli.cpp.o.d"
+  "ohb_cli"
+  "ohb_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ohb_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

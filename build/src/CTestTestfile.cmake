@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("ssd")
+subdirs("net")
+subdirs("store")
+subdirs("server")
+subdirs("client")
+subdirs("core")
+subdirs("workload")

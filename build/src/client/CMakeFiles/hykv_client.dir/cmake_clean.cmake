@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hykv_client.dir/backend_db.cpp.o"
+  "CMakeFiles/hykv_client.dir/backend_db.cpp.o.d"
+  "CMakeFiles/hykv_client.dir/client.cpp.o"
+  "CMakeFiles/hykv_client.dir/client.cpp.o.d"
+  "CMakeFiles/hykv_client.dir/compat.cpp.o"
+  "CMakeFiles/hykv_client.dir/compat.cpp.o.d"
+  "libhykv_client.a"
+  "libhykv_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hykv_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

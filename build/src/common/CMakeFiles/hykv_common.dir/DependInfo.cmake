@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/hash.cpp" "src/common/CMakeFiles/hykv_common.dir/hash.cpp.o" "gcc" "src/common/CMakeFiles/hykv_common.dir/hash.cpp.o.d"
+  "/root/repo/src/common/histogram.cpp" "src/common/CMakeFiles/hykv_common.dir/histogram.cpp.o" "gcc" "src/common/CMakeFiles/hykv_common.dir/histogram.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/common/CMakeFiles/hykv_common.dir/logging.cpp.o" "gcc" "src/common/CMakeFiles/hykv_common.dir/logging.cpp.o.d"
+  "/root/repo/src/common/profiles.cpp" "src/common/CMakeFiles/hykv_common.dir/profiles.cpp.o" "gcc" "src/common/CMakeFiles/hykv_common.dir/profiles.cpp.o.d"
+  "/root/repo/src/common/random.cpp" "src/common/CMakeFiles/hykv_common.dir/random.cpp.o" "gcc" "src/common/CMakeFiles/hykv_common.dir/random.cpp.o.d"
+  "/root/repo/src/common/sim_time.cpp" "src/common/CMakeFiles/hykv_common.dir/sim_time.cpp.o" "gcc" "src/common/CMakeFiles/hykv_common.dir/sim_time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

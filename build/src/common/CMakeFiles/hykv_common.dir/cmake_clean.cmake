@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hykv_common.dir/hash.cpp.o"
+  "CMakeFiles/hykv_common.dir/hash.cpp.o.d"
+  "CMakeFiles/hykv_common.dir/histogram.cpp.o"
+  "CMakeFiles/hykv_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/hykv_common.dir/logging.cpp.o"
+  "CMakeFiles/hykv_common.dir/logging.cpp.o.d"
+  "CMakeFiles/hykv_common.dir/profiles.cpp.o"
+  "CMakeFiles/hykv_common.dir/profiles.cpp.o.d"
+  "CMakeFiles/hykv_common.dir/random.cpp.o"
+  "CMakeFiles/hykv_common.dir/random.cpp.o.d"
+  "CMakeFiles/hykv_common.dir/sim_time.cpp.o"
+  "CMakeFiles/hykv_common.dir/sim_time.cpp.o.d"
+  "libhykv_common.a"
+  "libhykv_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hykv_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

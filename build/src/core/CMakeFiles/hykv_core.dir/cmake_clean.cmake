@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hykv_core.dir/testbed.cpp.o"
+  "CMakeFiles/hykv_core.dir/testbed.cpp.o.d"
+  "libhykv_core.a"
+  "libhykv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hykv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

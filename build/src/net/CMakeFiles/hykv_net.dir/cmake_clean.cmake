@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hykv_net.dir/fabric.cpp.o"
+  "CMakeFiles/hykv_net.dir/fabric.cpp.o.d"
+  "libhykv_net.a"
+  "libhykv_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hykv_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

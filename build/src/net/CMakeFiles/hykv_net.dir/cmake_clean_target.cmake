@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhykv_net.a"
+)

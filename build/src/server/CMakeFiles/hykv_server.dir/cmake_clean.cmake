@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hykv_server.dir/server.cpp.o"
+  "CMakeFiles/hykv_server.dir/server.cpp.o.d"
+  "libhykv_server.a"
+  "libhykv_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hykv_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssd/async_io.cpp" "src/ssd/CMakeFiles/hykv_ssd.dir/async_io.cpp.o" "gcc" "src/ssd/CMakeFiles/hykv_ssd.dir/async_io.cpp.o.d"
+  "/root/repo/src/ssd/device.cpp" "src/ssd/CMakeFiles/hykv_ssd.dir/device.cpp.o" "gcc" "src/ssd/CMakeFiles/hykv_ssd.dir/device.cpp.o.d"
+  "/root/repo/src/ssd/page_cache.cpp" "src/ssd/CMakeFiles/hykv_ssd.dir/page_cache.cpp.o" "gcc" "src/ssd/CMakeFiles/hykv_ssd.dir/page_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hykv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hykv_ssd.dir/async_io.cpp.o"
+  "CMakeFiles/hykv_ssd.dir/async_io.cpp.o.d"
+  "CMakeFiles/hykv_ssd.dir/device.cpp.o"
+  "CMakeFiles/hykv_ssd.dir/device.cpp.o.d"
+  "CMakeFiles/hykv_ssd.dir/page_cache.cpp.o"
+  "CMakeFiles/hykv_ssd.dir/page_cache.cpp.o.d"
+  "libhykv_ssd.a"
+  "libhykv_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hykv_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

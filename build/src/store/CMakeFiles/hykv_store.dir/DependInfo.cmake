@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/hybrid_manager.cpp" "src/store/CMakeFiles/hykv_store.dir/hybrid_manager.cpp.o" "gcc" "src/store/CMakeFiles/hykv_store.dir/hybrid_manager.cpp.o.d"
+  "/root/repo/src/store/slab.cpp" "src/store/CMakeFiles/hykv_store.dir/slab.cpp.o" "gcc" "src/store/CMakeFiles/hykv_store.dir/slab.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hykv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/hykv_ssd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hykv_store.dir/hybrid_manager.cpp.o"
+  "CMakeFiles/hykv_store.dir/hybrid_manager.cpp.o.d"
+  "CMakeFiles/hykv_store.dir/slab.cpp.o"
+  "CMakeFiles/hykv_store.dir/slab.cpp.o.d"
+  "libhykv_store.a"
+  "libhykv_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hykv_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

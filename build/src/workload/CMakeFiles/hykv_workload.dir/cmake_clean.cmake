@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hykv_workload.dir/workload.cpp.o"
+  "CMakeFiles/hykv_workload.dir/workload.cpp.o.d"
+  "libhykv_workload.a"
+  "libhykv_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hykv_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backend_db.dir/client/backend_db_test.cpp.o"
+  "CMakeFiles/test_backend_db.dir/client/backend_db_test.cpp.o.d"
+  "test_backend_db"
+  "test_backend_db.pdb"
+  "test_backend_db[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backend_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_client_ops.dir/client/client_ops_test.cpp.o"
+  "CMakeFiles/test_client_ops.dir/client/client_ops_test.cpp.o.d"
+  "test_client_ops"
+  "test_client_ops.pdb"
+  "test_client_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_client_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

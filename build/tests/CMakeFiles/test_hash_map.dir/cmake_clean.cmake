@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hash_map.dir/store/hash_map_test.cpp.o"
+  "CMakeFiles/test_hash_map.dir/store/hash_map_test.cpp.o.d"
+  "test_hash_map"
+  "test_hash_map.pdb"
+  "test_hash_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hash_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

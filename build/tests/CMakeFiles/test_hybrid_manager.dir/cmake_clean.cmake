@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hybrid_manager.dir/store/hybrid_manager_test.cpp.o"
+  "CMakeFiles/test_hybrid_manager.dir/store/hybrid_manager_test.cpp.o.d"
+  "test_hybrid_manager"
+  "test_hybrid_manager.pdb"
+  "test_hybrid_manager[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hybrid_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

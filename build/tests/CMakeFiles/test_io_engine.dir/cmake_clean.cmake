@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_engine.dir/ssd/io_engine_test.cpp.o"
+  "CMakeFiles/test_io_engine.dir/ssd/io_engine_test.cpp.o.d"
+  "test_io_engine"
+  "test_io_engine.pdb"
+  "test_io_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_item.dir/store/item_test.cpp.o"
+  "CMakeFiles/test_item.dir/store/item_test.cpp.o.d"
+  "test_item"
+  "test_item.pdb"
+  "test_item[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_item.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_manager_ops.dir/store/manager_ops_test.cpp.o"
+  "CMakeFiles/test_manager_ops.dir/store/manager_ops_test.cpp.o.d"
+  "test_manager_ops"
+  "test_manager_ops.pdb"
+  "test_manager_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_manager_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_page_cache_concurrency.dir/ssd/page_cache_concurrency_test.cpp.o"
+  "CMakeFiles/test_page_cache_concurrency.dir/ssd/page_cache_concurrency_test.cpp.o.d"
+  "test_page_cache_concurrency"
+  "test_page_cache_concurrency.pdb"
+  "test_page_cache_concurrency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_page_cache_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/server/protocol_test.cpp" "tests/CMakeFiles/test_protocol.dir/server/protocol_test.cpp.o" "gcc" "tests/CMakeFiles/test_protocol.dir/server/protocol_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/server/CMakeFiles/hykv_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hykv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/hykv_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/hykv_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hykv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

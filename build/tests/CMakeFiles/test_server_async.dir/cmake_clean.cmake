@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_server_async.dir/server/server_async_test.cpp.o"
+  "CMakeFiles/test_server_async.dir/server/server_async_test.cpp.o.d"
+  "test_server_async"
+  "test_server_async.pdb"
+  "test_server_async[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_server_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

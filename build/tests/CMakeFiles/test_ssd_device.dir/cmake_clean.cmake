@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ssd_device.dir/ssd/device_test.cpp.o"
+  "CMakeFiles/test_ssd_device.dir/ssd/device_test.cpp.o.d"
+  "test_ssd_device"
+  "test_ssd_device.pdb"
+  "test_ssd_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ssd_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

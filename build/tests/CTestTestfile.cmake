@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_hash[1]_include.cmake")
+include("/root/repo/build/tests/test_random[1]_include.cmake")
+include("/root/repo/build/tests/test_histogram[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_time[1]_include.cmake")
+include("/root/repo/build/tests/test_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_status[1]_include.cmake")
+include("/root/repo/build/tests/test_ssd_device[1]_include.cmake")
+include("/root/repo/build/tests/test_page_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_io_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_fabric[1]_include.cmake")
+include("/root/repo/build/tests/test_slab[1]_include.cmake")
+include("/root/repo/build/tests/test_hash_map[1]_include.cmake")
+include("/root/repo/build/tests/test_item[1]_include.cmake")
+include("/root/repo/build/tests/test_hybrid_manager[1]_include.cmake")
+include("/root/repo/build/tests/test_protocol[1]_include.cmake")
+include("/root/repo/build/tests/test_client_server[1]_include.cmake")
+include("/root/repo/build/tests/test_testbed[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_ring[1]_include.cmake")
+include("/root/repo/build/tests/test_backend_db[1]_include.cmake")
+include("/root/repo/build/tests/test_manager_ops[1]_include.cmake")
+include("/root/repo/build/tests/test_client_ops[1]_include.cmake")
+include("/root/repo/build/tests/test_async_io[1]_include.cmake")
+include("/root/repo/build/tests/test_protocol_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_server_async[1]_include.cmake")
+include("/root/repo/build/tests/test_page_cache_concurrency[1]_include.cmake")
