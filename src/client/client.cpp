@@ -17,7 +17,7 @@ Client::Client(net::Fabric& fabric, ClientConfig config, BackendDb* backend)
       config_(std::move(config)),
       backend_(backend),
       endpoint_(fabric_.create_endpoint(config_.name)),
-      ring_(config_.servers),
+      ring_(config_.servers, 160, config_.failover),
       scratch_(config_.bounce_slot_bytes) {
   assert(!config_.use_backend_on_miss || backend_ != nullptr);
   // Pre-register the bounce pool: the cold ibv_reg_mr cost is paid once at
@@ -175,6 +175,9 @@ void Client::rx_main() {
       }
     }
     if (pend.slot >= 0) free_slots_.push(pend.slot);
+    // Any response proves the server is alive: clear its failure streak
+    // (and readmit it if a probe just succeeded).
+    ring_.record_success(pend.server);
     HYKV_DEBUG("client %llu rx wr=%llu status=%u",
                static_cast<unsigned long long>(endpoint_->id()),
                static_cast<unsigned long long>(msg.value().wr_id),
@@ -209,12 +212,23 @@ void Client::signal_sent(std::uint64_t wr_id) {
 StatusCode Client::issue(TxJob job, Request& req, int slot, bool is_get,
                          std::span<char> dest) {
   req.reset(dest);
+  req.server_ = job.server;
+  if (!ring_.accepting(job.server)) {
+    // Target is ejected and not yet due for a probe: fail fast instead of
+    // letting the request burn its whole deadline against a dead server.
+    const std::scoped_lock lock(metrics_mu_);
+    ++counters_.server_down;
+    return StatusCode::kServerDown;
+  }
   std::uint64_t wr_id = 0;
   {
     const std::scoped_lock lock(pending_mu_);
     if (closed_) return StatusCode::kShutdown;
     wr_id = wr_id_seq_++;
-    pending_.emplace(wr_id, Pending{.req = &req, .slot = slot, .is_get = is_get});
+    pending_.emplace(wr_id, Pending{.req = &req,
+                                    .slot = slot,
+                                    .is_get = is_get,
+                                    .server = job.server});
   }
   job.wr_id = wr_id;
   req.wr_id_ = wr_id;
@@ -310,6 +324,12 @@ StatusCode Client::bget(std::string_view key, std::span<char> dest, Request& req
 }
 
 void Client::wait(Request& req) {
+  if (config_.op_deadline.count() > 0) {
+    // Termination guarantee: with a deadline configured, wait() can never
+    // hang on a lost request -- it cancels to kTimedOut at the deadline.
+    (void)wait_for(req, config_.op_deadline);
+    return;
+  }
   const auto start = std::chrono::steady_clock::now();
   park_until([&req] { return req.done(); });
   const std::scoped_lock lock(metrics_mu_);
@@ -317,30 +337,88 @@ void Client::wait(Request& req) {
   stages_.add_ops();
 }
 
+StatusCode Client::run_attempts(
+    Request& req, const std::function<StatusCode(Request&)>& issue_attempt,
+    bool idempotent) {
+  using Clock = std::chrono::steady_clock;
+  const bool deadline_on = config_.op_deadline.count() > 0;
+  const unsigned attempts_max =
+      deadline_on && idempotent ? config_.max_retries + 1 : 1;
+  const auto overall = Clock::now() + config_.op_deadline;
+  sim::Nanos backoff = config_.retry_backoff;
+  StatusCode last = StatusCode::kTimedOut;
+  net::EndpointId last_server = net::kInvalidEndpoint;
+
+  for (unsigned attempt = 0; attempt < attempts_max; ++attempt) {
+    if (attempt > 0) {
+      const std::scoped_lock lock(metrics_mu_);
+      ++counters_.retries;
+    }
+    const StatusCode issued = issue_attempt(req);
+    last_server = req.server_;
+    if (issued == StatusCode::kServerDown) {
+      // Refused before posting (target ejected); a retry re-selects and may
+      // fail over to a live server.
+      last = issued;
+    } else if (!ok(issued)) {
+      return issued;  // kShutdown / kInvalidArgument: not retryable
+    } else if (!deadline_on) {
+      wait(req);
+      return req.status();
+    } else {
+      const auto now = Clock::now();
+      if (now >= overall) {
+        last = cancel(req);
+        break;
+      }
+      // Split the remaining budget evenly over the attempts left so a slow
+      // first attempt cannot starve the retries of wait time.
+      const auto slice = (overall - now) / (attempts_max - attempt);
+      last = wait_for(req, std::chrono::duration_cast<sim::Nanos>(slice));
+      if (last != StatusCode::kTimedOut && last != StatusCode::kServerDown) {
+        return last;
+      }
+    }
+    if (attempt + 1 < attempts_max) {
+      const auto now = Clock::now();
+      if (now >= overall) break;
+      const auto nap = std::min<Clock::duration>(backoff, overall - now);
+      if (nap.count() > 0) std::this_thread::sleep_for(nap);
+      backoff = std::min(backoff * 2, config_.retry_backoff_max);
+    }
+  }
+  if (last == StatusCode::kTimedOut &&
+      last_server != net::kInvalidEndpoint && ring_.is_dead(last_server)) {
+    return StatusCode::kServerDown;
+  }
+  return last;
+}
+
 StatusCode Client::set(std::string_view key, std::span<const char> value,
                        std::uint32_t flags, std::int64_t expiration) {
   Request req;
-  const StatusCode code = bset(key, value, flags, expiration, req);
-  if (!ok(code)) return code;
-  wait(req);
+  // Set is idempotent (last-writer-wins): safe to re-issue after a timeout.
+  const StatusCode code = run_attempts(
+      req,
+      [&](Request& r) { return bset(key, value, flags, expiration, r); },
+      /*idempotent=*/true);
   {
     const std::scoped_lock lock(metrics_mu_);
     ++counters_.sets;
   }
-  return req.status();
+  return code;
 }
 
 StatusCode Client::get(std::string_view key, std::vector<char>& out,
                        std::uint32_t* flags) {
   Request req;
-  StatusCode code = bget(key, scratch_, req);
-  if (!ok(code)) return code;
-  wait(req);
+  StatusCode code = run_attempts(
+      req, [&](Request& r) { return bget(key, scratch_, r); },
+      /*idempotent=*/true);
   {
     const std::scoped_lock lock(metrics_mu_);
     ++counters_.gets;
   }
-  code = req.status();
   if (ok(code)) {
     out.assign(scratch_.begin(),
                scratch_.begin() + static_cast<std::ptrdiff_t>(req.value_length()));
@@ -370,84 +448,67 @@ StatusCode Client::get(std::string_view key, std::vector<char>& out,
 StatusCode Client::del(std::string_view key) {
   if (key.empty()) return StatusCode::kInvalidArgument;
   Request req;
-  TxJob job;
-  job.opcode = Opcode::kOpDelete;
-  job.server = ring_.select(key);
-  job.key = std::string(key);
-  const StatusCode code = issue(std::move(job), req, -1, /*is_get=*/false, {});
-  if (!ok(code)) return code;
-  wait(req);
+  // Delete is idempotent (deleting twice deletes once); the lambda rebuilds
+  // the job so a retry re-selects the server and can fail over.
+  const StatusCode code = run_attempts(
+      req,
+      [&](Request& r) {
+        TxJob job;
+        job.opcode = Opcode::kOpDelete;
+        job.server = ring_.select(key);
+        job.key = std::string(key);
+        return issue(std::move(job), r, -1, /*is_get=*/false, {});
+      },
+      /*idempotent=*/true);
   {
     const std::scoped_lock lock(metrics_mu_);
     ++counters_.deletes;
   }
-  return req.status();
+  return code;
+}
+
+// add/replace/append/prepend/incr/decr/cas are NOT idempotent: a timed-out
+// first attempt may have been applied server-side, so re-issuing could
+// double-apply (append twice, incr twice, add observing its own first
+// attempt). They get the deadline's termination guarantee but never retry.
+
+StatusCode Client::store_op(std::uint16_t opcode, std::string_view key,
+                            std::span<const char> value, std::uint32_t flags,
+                            std::int64_t expiration) {
+  if (key.empty()) return StatusCode::kInvalidArgument;
+  Request req;
+  return run_attempts(
+      req,
+      [&](Request& r) {
+        TxJob job;
+        job.opcode = opcode;
+        job.server = ring_.select(key);
+        job.key = std::string(key);
+        job.owned_value.assign(value.begin(), value.end());
+        job.value = job.owned_value;
+        job.flags = flags;
+        job.expiration = expiration;
+        return issue(std::move(job), r, -1, false, {});
+      },
+      /*idempotent=*/false);
 }
 
 StatusCode Client::add(std::string_view key, std::span<const char> value,
                        std::uint32_t flags, std::int64_t expiration) {
-  if (key.empty()) return StatusCode::kInvalidArgument;
-  Request req;
-  TxJob job;
-  job.opcode = Opcode::kOpAdd;
-  job.server = ring_.select(key);
-  job.key = std::string(key);
-  job.owned_value.assign(value.begin(), value.end());
-  job.value = job.owned_value;
-  job.flags = flags;
-  job.expiration = expiration;
-  const StatusCode code = issue(std::move(job), req, -1, false, {});
-  if (!ok(code)) return code;
-  wait(req);
-  return req.status();
+  return store_op(Opcode::kOpAdd, key, value, flags, expiration);
 }
 
 StatusCode Client::replace(std::string_view key, std::span<const char> value,
                            std::uint32_t flags, std::int64_t expiration) {
-  if (key.empty()) return StatusCode::kInvalidArgument;
-  Request req;
-  TxJob job;
-  job.opcode = Opcode::kOpReplace;
-  job.server = ring_.select(key);
-  job.key = std::string(key);
-  job.owned_value.assign(value.begin(), value.end());
-  job.value = job.owned_value;
-  job.flags = flags;
-  job.expiration = expiration;
-  const StatusCode code = issue(std::move(job), req, -1, false, {});
-  if (!ok(code)) return code;
-  wait(req);
-  return req.status();
+  return store_op(Opcode::kOpReplace, key, value, flags, expiration);
 }
 
 StatusCode Client::append(std::string_view key, std::span<const char> suffix) {
-  if (key.empty()) return StatusCode::kInvalidArgument;
-  Request req;
-  TxJob job;
-  job.opcode = Opcode::kOpAppend;
-  job.server = ring_.select(key);
-  job.key = std::string(key);
-  job.owned_value.assign(suffix.begin(), suffix.end());
-  job.value = job.owned_value;
-  const StatusCode code = issue(std::move(job), req, -1, false, {});
-  if (!ok(code)) return code;
-  wait(req);
-  return req.status();
+  return store_op(Opcode::kOpAppend, key, suffix, 0, 0);
 }
 
 StatusCode Client::prepend(std::string_view key, std::span<const char> prefix) {
-  if (key.empty()) return StatusCode::kInvalidArgument;
-  Request req;
-  TxJob job;
-  job.opcode = Opcode::kOpPrepend;
-  job.server = ring_.select(key);
-  job.key = std::string(key);
-  job.owned_value.assign(prefix.begin(), prefix.end());
-  job.value = job.owned_value;
-  const StatusCode code = issue(std::move(job), req, -1, false, {});
-  if (!ok(code)) return code;
-  wait(req);
-  return req.status();
+  return store_op(Opcode::kOpPrepend, key, prefix, 0, 0);
 }
 
 namespace {
@@ -464,70 +525,92 @@ Result<std::uint64_t> parse_counter_response(const Request& req,
 Result<std::uint64_t> Client::incr(std::string_view key, std::uint64_t delta) {
   if (key.empty()) return StatusCode::kInvalidArgument;
   Request req;
-  TxJob job;
-  job.opcode = Opcode::kOpIncr;
-  job.server = ring_.select(key);
-  job.key = std::string(key);
-  job.expiration = static_cast<std::int64_t>(delta);  // carried in encoding
-  const StatusCode code = issue(std::move(job), req, -1, true, scratch_);
+  const StatusCode code = run_attempts(
+      req,
+      [&](Request& r) {
+        TxJob job;
+        job.opcode = Opcode::kOpIncr;
+        job.server = ring_.select(key);
+        job.key = std::string(key);
+        job.expiration = static_cast<std::int64_t>(delta);  // in encoding
+        return issue(std::move(job), r, -1, true, scratch_);
+      },
+      /*idempotent=*/false);
   if (!ok(code)) return code;
-  wait(req);
   return parse_counter_response(req, scratch_);
 }
 
 Result<std::uint64_t> Client::decr(std::string_view key, std::uint64_t delta) {
   if (key.empty()) return StatusCode::kInvalidArgument;
   Request req;
-  TxJob job;
-  job.opcode = Opcode::kOpDecr;
-  job.server = ring_.select(key);
-  job.key = std::string(key);
-  job.expiration = static_cast<std::int64_t>(delta);
-  const StatusCode code = issue(std::move(job), req, -1, true, scratch_);
+  const StatusCode code = run_attempts(
+      req,
+      [&](Request& r) {
+        TxJob job;
+        job.opcode = Opcode::kOpDecr;
+        job.server = ring_.select(key);
+        job.key = std::string(key);
+        job.expiration = static_cast<std::int64_t>(delta);
+        return issue(std::move(job), r, -1, true, scratch_);
+      },
+      /*idempotent=*/false);
   if (!ok(code)) return code;
-  wait(req);
   return parse_counter_response(req, scratch_);
 }
 
 StatusCode Client::touch(std::string_view key, std::int64_t expiration) {
   if (key.empty()) return StatusCode::kInvalidArgument;
   Request req;
-  TxJob job;
-  job.opcode = Opcode::kOpTouch;
-  job.server = ring_.select(key);
-  job.key = std::string(key);
-  job.expiration = expiration;
-  const StatusCode code = issue(std::move(job), req, -1, false, {});
-  if (!ok(code)) return code;
-  wait(req);
-  return req.status();
+  // Touch is idempotent: refreshing the expiration twice lands on the same
+  // absolute deadline.
+  return run_attempts(
+      req,
+      [&](Request& r) {
+        TxJob job;
+        job.opcode = Opcode::kOpTouch;
+        job.server = ring_.select(key);
+        job.key = std::string(key);
+        job.expiration = expiration;
+        return issue(std::move(job), r, -1, false, {});
+      },
+      /*idempotent=*/true);
 }
 
 StatusCode Client::flush_all() {
   StatusCode worst = StatusCode::kOk;
   for (const net::EndpointId server : ring_.servers()) {
     Request req;
-    TxJob job;
-    job.opcode = Opcode::kOpFlushAll;
-    job.server = server;
-    const StatusCode code = issue(std::move(job), req, -1, false, {});
-    if (!ok(code)) return code;
-    wait(req);
-    if (!ok(req.status())) worst = req.status();
+    // Pinned to one explicit server (no ring selection): a retry targets
+    // the same server again -- failing over a flush makes no sense.
+    const StatusCode code = run_attempts(
+        req,
+        [&, server](Request& r) {
+          TxJob job;
+          job.opcode = Opcode::kOpFlushAll;
+          job.server = server;
+          return issue(std::move(job), r, -1, false, {});
+        },
+        /*idempotent=*/true);
+    if (code == StatusCode::kShutdown) return code;
+    if (!ok(code)) worst = code;
   }
   return worst;
 }
 
 Result<std::string> Client::stats_text(std::size_t server_index) {
   if (server_index >= ring_.servers().size()) return StatusCode::kInvalidArgument;
+  const net::EndpointId server = ring_.servers()[server_index];
   Request req;
-  TxJob job;
-  job.opcode = Opcode::kOpStats;
-  job.server = ring_.servers()[server_index];
-  const StatusCode code = issue(std::move(job), req, -1, true, scratch_);
+  const StatusCode code = run_attempts(
+      req,
+      [&, server](Request& r) {
+        TxJob job;
+        job.opcode = Opcode::kOpStats;
+        job.server = server;
+        return issue(std::move(job), r, -1, true, scratch_);
+      },
+      /*idempotent=*/true);
   if (!ok(code)) return code;
-  wait(req);
-  if (!ok(req.status())) return req.status();
   return std::string(scratch_.data(), req.value_length());
 }
 
@@ -535,14 +618,17 @@ StatusCode Client::gets(std::string_view key, std::vector<char>& out,
                         std::uint32_t* flags, std::uint64_t* cas) {
   if (key.empty()) return StatusCode::kInvalidArgument;
   Request req;
-  TxJob job;
-  job.opcode = Opcode::kOpGets;
-  job.server = ring_.select(key);
-  job.key = std::string(key);
-  const StatusCode code = issue(std::move(job), req, -1, true, scratch_);
+  const StatusCode code = run_attempts(
+      req,
+      [&](Request& r) {
+        TxJob job;
+        job.opcode = Opcode::kOpGets;
+        job.server = ring_.select(key);
+        job.key = std::string(key);
+        return issue(std::move(job), r, -1, true, scratch_);
+      },
+      /*idempotent=*/true);
   if (!ok(code)) return code;
-  wait(req);
-  if (!ok(req.status())) return req.status();
   if (req.value_length() < 8) return StatusCode::kServerError;
   std::uint64_t token = 0;
   std::memcpy(&token, scratch_.data(), 8);
@@ -558,21 +644,23 @@ StatusCode Client::cas(std::string_view key, std::span<const char> value,
                        std::int64_t expiration) {
   if (key.empty()) return StatusCode::kInvalidArgument;
   Request req;
-  TxJob job;
-  job.opcode = Opcode::kOpCas;
-  job.server = ring_.select(key);
-  job.key = std::string(key);
-  job.owned_value.assign(value.begin(), value.end());
-  job.value = job.owned_value;
-  job.flags = flags;
-  job.expiration = expiration;
-  // The CAS token travels in the job's wr-independent slot: reuse the
-  // encoding step below (tx_main packs it from job.cas_token).
-  job.cas_token = cas_token;
-  const StatusCode code = issue(std::move(job), req, -1, false, {});
-  if (!ok(code)) return code;
-  wait(req);
-  return req.status();
+  return run_attempts(
+      req,
+      [&](Request& r) {
+        TxJob job;
+        job.opcode = Opcode::kOpCas;
+        job.server = ring_.select(key);
+        job.key = std::string(key);
+        job.owned_value.assign(value.begin(), value.end());
+        job.value = job.owned_value;
+        job.flags = flags;
+        job.expiration = expiration;
+        // The CAS token travels in the job's wr-independent slot: tx_main
+        // packs it from job.cas_token.
+        job.cas_token = cas_token;
+        return issue(std::move(job), r, -1, false, {});
+      },
+      /*idempotent=*/false);
 }
 
 std::vector<std::optional<std::vector<char>>> Client::mget(
@@ -606,16 +694,25 @@ std::vector<std::optional<std::vector<char>>> Client::mget(
 StatusCode Client::cancel(Request& req) {
   if (req.done()) return req.status();
   bool removed = false;
+  net::EndpointId server = net::kInvalidEndpoint;
   {
     const std::scoped_lock lock(pending_mu_);
     auto it = pending_.find(req.wr_id_);
     if (it != pending_.end() && it->second.req == &req) {
       if (it->second.slot >= 0) free_slots_.push(it->second.slot);
+      server = it->second.server;
       pending_.erase(it);
       removed = true;
     }
   }
   if (removed) {
+    // A true cancellation is a strike against the target server: enough
+    // consecutive ones eject it from the ring (failover).
+    ring_.record_failure(server);
+    {
+      const std::scoped_lock lock(metrics_mu_);
+      ++counters_.timeouts;
+    }
     signal_completion(req, StatusCode::kTimedOut, 0, 0);
     return StatusCode::kTimedOut;
   }

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -52,6 +53,22 @@ struct ClientConfig {
   /// Blocking Gets consult the backend database on a miss (cache-aside) and
   /// re-populate the cache -- the in-memory designs' miss path.
   bool use_backend_on_miss = false;
+
+  // ---- Failure handling (all real/wall-clock time) ----
+  /// Per-operation deadline. 0 disables deadlines entirely: blocking ops and
+  /// wait() block until completion, retries never trigger, and the happy
+  /// path is byte-for-byte the pre-failure-model behaviour.
+  sim::Nanos op_deadline{0};
+  /// Extra attempts for *idempotent* blocking ops (set/get/del) after a
+  /// timeout. Non-idempotent ops (incr, append, cas, ...) never retry --
+  /// the first attempt may have been applied.
+  unsigned max_retries = 2;
+  /// Exponential backoff between retries: first wait, then doubled up to
+  /// the cap. Backoff never extends past the op deadline.
+  sim::Nanos retry_backoff{sim::ms(1)};
+  sim::Nanos retry_backoff_max{sim::ms(8)};
+  /// Server ejection/readmission thresholds for the ring dead-set.
+  FailoverPolicy failover{};
 };
 
 struct ClientCounters {
@@ -62,6 +79,9 @@ struct ClientCounters {
   std::uint64_t misses = 0;
   std::uint64_t backend_fetches = 0;
   std::uint64_t nonblocking_issued = 0;
+  std::uint64_t timeouts = 0;       ///< Requests cancelled on deadline.
+  std::uint64_t retries = 0;        ///< Re-issued idempotent attempts.
+  std::uint64_t server_down = 0;    ///< Issues refused: target ejected.
 };
 
 class Client {
@@ -171,6 +191,18 @@ class Client {
   [[nodiscard]] const ServerRing& ring() const noexcept { return ring_; }
   [[nodiscard]] net::EndpointId endpoint_id() const { return endpoint_->id(); }
 
+  /// Bounce slots currently idle -- equals the configured pool size whenever
+  /// no request is in flight (chaos tests assert no slot is ever leaked).
+  [[nodiscard]] std::size_t free_bounce_slots() const {
+    return free_slots_.size();
+  }
+  /// Requests currently registered in the pending map (0 once every issued
+  /// request reached a terminal status).
+  [[nodiscard]] std::size_t pending_requests() const {
+    const std::scoped_lock lock(pending_mu_);
+    return pending_.size();
+  }
+
  private:
   struct TxJob {
     std::uint16_t opcode = 0;
@@ -189,6 +221,7 @@ class Client {
     Request* req = nullptr;
     int slot = -1;      ///< Bounce slot to release on completion (-1: none).
     bool is_get = false;
+    net::EndpointId server = net::kInvalidEndpoint;  ///< Ring health target.
   };
 
   void tx_main();
@@ -209,6 +242,18 @@ class Client {
   }
   StatusCode issue(TxJob job, Request& req, int slot, bool is_get,
                    std::span<char> dest);
+  /// Shared body of add/replace/append/prepend (non-idempotent stores).
+  StatusCode store_op(std::uint16_t opcode, std::string_view key,
+                      std::span<const char> value, std::uint32_t flags,
+                      std::int64_t expiration);
+  /// Runs one blocking operation under the deadline/retry policy:
+  /// `issue_attempt` posts a fresh request (re-selecting the server, so a
+  /// retry after ejection fails over) and is re-run on timeout while budget
+  /// remains, but only when `idempotent`. Returns the final status --
+  /// kServerDown when attempts exhausted against an ejected server.
+  StatusCode run_attempts(
+      Request& req, const std::function<StatusCode(Request&)>& issue_attempt,
+      bool idempotent);
   void complete_all_pending(StatusCode status);
   std::uint64_t next_wr_id() { return wr_id_seq_++; }
 

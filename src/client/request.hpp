@@ -63,6 +63,7 @@ class Request {
     value_len_ = 0;
     flags_ = 0;
     wr_id_ = 0;
+    server_ = 0;
     dest_ = dest;
   }
 
@@ -79,6 +80,7 @@ class Request {
   std::atomic<bool> done_{false};
   std::atomic<bool> sent_{false};
   std::uint64_t wr_id_ = 0;  ///< Set by Client::issue; used for cancel.
+  std::uint64_t server_ = 0; ///< Target server (EndpointId); for failover.
   StatusCode status_ = StatusCode::kInProgress;
   std::uint32_t flags_ = 0;
   std::size_t value_len_ = 0;

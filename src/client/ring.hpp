@@ -1,27 +1,50 @@
 // Ketama-style consistent-hash ring for key -> server selection, the
 // mechanism libmemcached uses to scatter keys over a Memcached cluster.
-// Immutable after construction; safe to share across threads.
+//
+// The hash points are immutable after construction, but the ring tracks a
+// mutable per-server health record for failover: after `eject_after`
+// consecutive failures a server is ejected (keys it owns remap to the next
+// live hash point, the standard ketama failover) and re-probed after
+// `reprobe_after` of real time -- selection then returns the dead server
+// once (half-open circuit) so a single request can test it; success readmits
+// it, failure re-arms the probe timer. All methods are thread-safe.
 #pragma once
 
-#include <cassert>
+#include <mutex>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/hash.hpp"
+#include "common/sim_time.hpp"
 #include "net/message.hpp"
 
 namespace hykv::client {
 
+/// Ejection / readmission policy for ring failover. Durations are real
+/// (wall-clock) time, like client deadlines -- failure detection is a
+/// property of the observer, not of the modelled hardware.
+struct FailoverPolicy {
+  unsigned eject_after = 3;             ///< Consecutive failures to eject.
+  sim::Nanos reprobe_after = sim::ms(50);  ///< Real time until a re-probe.
+};
+
 class ServerRing {
  public:
-  /// `servers` must be non-empty. `vnodes` hash points are placed per server.
+  /// `servers` must be non-empty (throws std::invalid_argument otherwise --
+  /// an assert would compile out in release and leave front() UB).
+  /// `vnodes` hash points are placed per server.
   explicit ServerRing(std::vector<net::EndpointId> servers,
-                      unsigned vnodes = 160)
-      : servers_(std::move(servers)) {
-    assert(!servers_.empty());
+                      unsigned vnodes = 160, FailoverPolicy policy = {})
+      : servers_(std::move(servers)), policy_(policy) {
+    if (servers_.empty()) {
+      throw std::invalid_argument("ServerRing: server list must be non-empty");
+    }
     for (const net::EndpointId server : servers_) {
+      health_.emplace(server, Health{});
       for (unsigned v = 0; v < vnodes; ++v) {
         const std::uint64_t point = mix64(server * 0x1000193ULL + v);
         ring_.emplace(point, server);
@@ -29,22 +52,105 @@ class ServerRing {
     }
   }
 
-  /// Server owning `key`: first hash point clockwise from hash(key).
+  /// Server owning `key`: first *live* hash point clockwise from hash(key).
+  /// A dead server whose probe timer expired counts as live (half-open); if
+  /// every server is dead and none is probe-due, the primary owner is
+  /// returned so the request fails fast with a terminal status.
   [[nodiscard]] net::EndpointId select(std::string_view key) const {
     if (servers_.size() == 1) return servers_.front();
     const std::uint64_t h = xxh64(key);
+    const std::scoped_lock lock(mu_);
+    if (dead_count_ == 0) return owner_at(h);  // fast path: all healthy
     auto it = ring_.lower_bound(h);
-    if (it == ring_.end()) it = ring_.begin();
-    return it->second;
+    for (std::size_t hops = 0; hops < ring_.size(); ++hops, ++it) {
+      if (it == ring_.end()) it = ring_.begin();
+      if (selectable_locked(it->second)) return it->second;
+    }
+    return owner_at(h);  // everything is down: fail fast on the owner
+  }
+
+  /// Records a failed operation against `server` (timeout / transport
+  /// error). Ejects it after policy.eject_after consecutive failures.
+  void record_failure(net::EndpointId server) {
+    const std::scoped_lock lock(mu_);
+    auto it = health_.find(server);
+    if (it == health_.end()) return;
+    Health& h = it->second;
+    ++h.consecutive_failures;
+    if (!h.dead && h.consecutive_failures >= policy_.eject_after) {
+      h.dead = true;
+      ++dead_count_;
+    }
+    if (h.dead) h.reprobe_at = sim::now() + policy_.reprobe_after;
+  }
+
+  /// Records a successful operation: clears the failure streak and readmits
+  /// the server if it was ejected.
+  void record_success(net::EndpointId server) {
+    const std::scoped_lock lock(mu_);
+    auto it = health_.find(server);
+    if (it == health_.end()) return;
+    Health& h = it->second;
+    h.consecutive_failures = 0;
+    if (h.dead) {
+      h.dead = false;
+      --dead_count_;
+    }
+  }
+
+  [[nodiscard]] bool is_dead(net::EndpointId server) const {
+    const std::scoped_lock lock(mu_);
+    auto it = health_.find(server);
+    return it != health_.end() && it->second.dead;
+  }
+
+  /// Whether a request may be issued to `server` right now: healthy, or dead
+  /// but due for a half-open probe. Requests to non-accepting servers should
+  /// fail fast with kServerDown instead of burning their deadline.
+  [[nodiscard]] bool accepting(net::EndpointId server) const {
+    const std::scoped_lock lock(mu_);
+    return selectable_locked(server);
+  }
+
+  [[nodiscard]] std::size_t dead_count() const {
+    const std::scoped_lock lock(mu_);
+    return dead_count_;
   }
 
   [[nodiscard]] const std::vector<net::EndpointId>& servers() const noexcept {
     return servers_;
   }
 
+  [[nodiscard]] const FailoverPolicy& policy() const noexcept { return policy_; }
+
  private:
+  struct Health {
+    unsigned consecutive_failures = 0;
+    bool dead = false;
+    sim::TimePoint reprobe_at{};  ///< Valid while dead.
+  };
+
+  [[nodiscard]] net::EndpointId owner_at(std::uint64_t h) const {
+    auto it = ring_.lower_bound(h);
+    if (it == ring_.end()) it = ring_.begin();
+    return it->second;
+  }
+
+  [[nodiscard]] bool selectable_locked(net::EndpointId server) const {
+    auto it = health_.find(server);
+    if (it == health_.end() || !it->second.dead) return true;
+    // Half-open probe: once the timer expires the dead server is offered
+    // again; record_failure re-arms the timer if the probe fails.
+    return sim::now() >= it->second.reprobe_at;
+  }
+
   std::vector<net::EndpointId> servers_;
+  FailoverPolicy policy_;
   std::map<std::uint64_t, net::EndpointId> ring_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<net::EndpointId, Health> health_;
+  std::size_t dead_count_ = 0;
 };
 
 }  // namespace hykv::client

@@ -29,6 +29,8 @@ enum class StatusCode : std::uint8_t {
   kInvalidArgument, ///< Malformed request (empty key, oversized item, ...).
   kInProgress,      ///< Non-blocking operation has not completed yet.
   kShutdown,        ///< Component is shutting down; request not serviced.
+  kServerDown,      ///< Target server is ejected from the ring (failover).
+  kIoError,         ///< Storage device I/O failure (transient or outage).
 };
 
 /// Human-readable name for logging and test diagnostics.
@@ -45,6 +47,8 @@ constexpr std::string_view to_string(StatusCode code) noexcept {
     case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
     case StatusCode::kInProgress: return "IN_PROGRESS";
     case StatusCode::kShutdown: return "SHUTDOWN";
+    case StatusCode::kServerDown: return "SERVER_DOWN";
+    case StatusCode::kIoError: return "IO_ERROR";
   }
   return "UNKNOWN";
 }

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 
+#include "common/hash.hpp"
+
 namespace hykv::core {
 
 TestBed::TestBed(TestBedConfig config)
     : config_(std::move(config)),
-      fabric_(std::make_unique<net::Fabric>(fabric_profile(config_.design))),
+      fabric_(std::make_unique<net::Fabric>(fabric_profile(config_.design),
+                                            config_.fabric_faults)),
       backend_(config_.backend, config_.backend_resolver) {
   const unsigned n = std::max(1u, config_.num_servers);
   const std::size_t per_server_memory = config_.total_server_memory / n;
@@ -30,6 +33,13 @@ TestBed::TestBed(TestBedConfig config)
       storage_.push_back(
           std::make_unique<ssd::StorageStack>(config_.ssd, cache));
       stack = storage_.back().get();
+      if (config_.ssd_faults.enabled()) {
+        // Derive a per-server seed so the servers' error schedules differ
+        // but the whole cluster stays reproducible from one config seed.
+        ssd::SsdFaultProfile faults = config_.ssd_faults;
+        faults.seed = mix64(config_.ssd_faults.seed + i);
+        stack->device().set_fault_profile(faults);
+      }
     }
 
     server::ServerConfig server_config;
@@ -51,6 +61,9 @@ TestBed::TestBed(TestBedConfig config)
     server_config.manager.slab.slab_bytes = config_.slab_bytes;
     server_config.manager.slab.memory_limit = per_server_memory;
     server_config.manager.flush_batch_bytes = config_.slab_bytes;
+    server_config.manager.degrade_after_io_errors =
+        config_.degrade_after_io_errors;
+    server_config.manager.heal_probe_after = config_.heal_probe_after;
 
     servers_.push_back(std::make_unique<server::MemcachedServer>(
         *fabric_, server_config, stack));
@@ -70,6 +83,9 @@ std::unique_ptr<client::Client> TestBed::make_client(std::string name) {
   cfg.bounce_slots = config_.client_bounce_slots;
   cfg.bounce_slot_bytes = config_.client_bounce_slot_bytes;
   cfg.use_backend_on_miss = !is_hybrid(config_.design);
+  cfg.op_deadline = config_.client_op_deadline;
+  cfg.max_retries = config_.client_max_retries;
+  cfg.failover = config_.client_failover;
   return std::make_unique<client::Client>(*fabric_, std::move(cfg), &backend_);
 }
 
@@ -96,6 +112,8 @@ store::ManagerStats TestBed::store_stats() const {
     total.dropped_evictions += s.dropped_evictions;
     total.ssd_live_bytes += s.ssd_live_bytes;
     total.checksum_failures += s.checksum_failures;
+    total.io_errors += s.io_errors;
+    total.degraded = total.degraded || s.degraded;
   }
   return total;
 }
@@ -109,6 +127,7 @@ ssd::DeviceStats TestBed::device_stats() const {
     total.read_bytes += s.read_bytes;
     total.written_bytes += s.written_bytes;
     total.busy_ns += s.busy_ns;
+    total.io_errors += s.io_errors;
   }
   return total;
 }

@@ -38,6 +38,20 @@ struct TestBedConfig {
   std::size_t server_buffer_slots = 16;
   std::size_t client_bounce_slots = 16;
   std::size_t client_bounce_slot_bytes = std::size_t{1} << 20;
+
+  // ---- Fault-injection / failure-handling (chaos tests; all default-off,
+  //      leaving the happy path byte-for-byte unchanged) ----
+  /// Deterministic fabric faults (drop/duplicate/delay/link-down/one-sided).
+  net::FaultProfile fabric_faults = net::FaultProfile::none();
+  /// Transient SSD I/O errors on every hybrid server's device.
+  ssd::SsdFaultProfile ssd_faults{};
+  /// Per-server degraded-mode thresholds (see store::ManagerConfig).
+  unsigned degrade_after_io_errors = 3;
+  sim::Nanos heal_probe_after = sim::ms(50);
+  /// Client failure policy handed to every make_client() (0 = no deadlines).
+  sim::Nanos client_op_deadline{0};
+  unsigned client_max_retries = 2;
+  client::FailoverPolicy client_failover{};
 };
 
 class TestBed {

@@ -16,16 +16,20 @@ sim::Nanos occupancy_time(const FabricProfile& profile, std::size_t size) {
   return profile.transfer_time(size) - profile.base_latency;
 }
 
-std::uint64_t reg_cache_key(const char* addr, std::size_t len) {
-  return mix64(reinterpret_cast<std::uintptr_t>(addr)) ^ mix64(len);
-}
-
 }  // namespace
+
+std::size_t RegCacheKeyHash::operator()(const RegCacheKey& key) const noexcept {
+  return mix64(mix64(reinterpret_cast<std::uintptr_t>(key.addr)) ^
+               mix64(key.len));
+}
 
 Endpoint::Endpoint(Fabric& fabric, EndpointId id, std::string name)
     : fabric_(fabric), id_(id), name_(std::move(name)) {}
 
-Fabric::Fabric(FabricProfile profile) : profile_(std::move(profile)) {}
+Fabric::Fabric(FabricProfile profile, FaultProfile faults)
+    : profile_(std::move(profile)),
+      faults_(faults.enabled() ? std::make_unique<FaultInjector>(faults)
+                               : nullptr) {}
 
 std::shared_ptr<Endpoint> Fabric::create_endpoint(std::string name) {
   const std::scoped_lock lock(mu_);
@@ -65,7 +69,38 @@ SendTicket Endpoint::send(EndpointId dst, std::uint16_t opcode,
     // failure at the protocol level (no response -> timeout/shutdown).
     return SendTicket{sim::now()};
   }
+
+  FaultInjector* faults = fabric_.faults();
+  MessageFault fault;
+  if (faults != nullptr) {
+    if (faults->link_down(id_, dst)) {
+      // Partitioned: the work request "completes" locally but nothing
+      // reaches the wire (the QP would eventually flush with an error; here
+      // the protocol layer sees it as silence -> timeout).
+      const std::scoped_lock lock(mu_);
+      ++stats_.faults_link_down;
+      return SendTicket{sim::now()};
+    }
+    fault = faults->on_message(id_, dst);
+  }
+
   const auto [finish, deliver_at] = fabric_.reserve_path(*this, *target, payload.size());
+
+  {
+    const std::scoped_lock lock(mu_);
+    ++stats_.sends;
+    stats_.sent_bytes += payload.size();
+    if (fault.drop) ++stats_.faults_dropped;
+    if (fault.duplicate) ++stats_.faults_duplicated;
+    if (fault.extra_delay.count() > 0) ++stats_.faults_delayed;
+  }
+
+  if (fault.drop) {
+    // The bytes occupied the link (reserve_path above) but never arrive.
+    // Local send completion still fires -- a lossy fabric looks healthy to
+    // the sender, exactly why completion needs timeouts.
+    return SendTicket{finish};
+  }
 
   Message msg;
   msg.src = id_;
@@ -73,13 +108,16 @@ SendTicket Endpoint::send(EndpointId dst, std::uint16_t opcode,
   msg.opcode = opcode;
   msg.wr_id = wr_id;
   msg.payload.assign(payload.begin(), payload.end());
-  msg.deliver_at = deliver_at;
-  target->rx_.push(std::move(msg));
-
-  {
-    const std::scoped_lock lock(mu_);
-    ++stats_.sends;
-    stats_.sent_bytes += payload.size();
+  msg.deliver_at = deliver_at + sim::scaled(fault.extra_delay);
+  if (fault.duplicate) {
+    // The ghost copy trails the original by one propagation delay -- the
+    // receiver must tolerate duplicate wr_ids (stale-response path).
+    Message ghost = msg;
+    ghost.deliver_at += sim::scaled(fabric_.profile().base_latency);
+    target->rx_.push(std::move(msg));
+    target->rx_.push(std::move(ghost));
+  } else {
+    target->rx_.push(std::move(msg));
   }
   return SendTicket{finish};
 }
@@ -105,7 +143,7 @@ Result<Message> Endpoint::recv_for(sim::Nanos real_timeout) {
 }
 
 MemoryRegion Endpoint::register_memory(char* addr, std::size_t len) {
-  const std::uint64_t key = reg_cache_key(addr, len);
+  const RegCacheKey key{addr, len};
   std::optional<MemoryRegion> cached;
   {
     const std::scoped_lock lock(mu_);
@@ -146,6 +184,10 @@ void Endpoint::deregister_memory(const MemoryRegion& region) {
 StatusCode Endpoint::rdma_write(const RemoteKey& key, std::size_t offset,
                                 std::span<const char> data) {
   if (!fabric_.profile().one_sided) return StatusCode::kNetworkError;
+  if (const StatusCode injected = check_one_sided_fault(key.endpoint);
+      !ok(injected)) {
+    return injected;
+  }
   Endpoint* target = fabric_.find(key.endpoint);
   if (target == nullptr) return StatusCode::kNetworkError;
   char* dest = nullptr;
@@ -170,6 +212,10 @@ StatusCode Endpoint::rdma_write(const RemoteKey& key, std::size_t offset,
 StatusCode Endpoint::rdma_read(const RemoteKey& key, std::size_t offset,
                                std::span<char> out) {
   if (!fabric_.profile().one_sided) return StatusCode::kNetworkError;
+  if (const StatusCode injected = check_one_sided_fault(key.endpoint);
+      !ok(injected)) {
+    return injected;
+  }
   Endpoint* target = fabric_.find(key.endpoint);
   if (target == nullptr) return StatusCode::kNetworkError;
   const char* from = nullptr;
@@ -189,6 +235,25 @@ StatusCode Endpoint::rdma_read(const RemoteKey& key, std::size_t offset,
   std::memcpy(out.data(), from, out.size());
   const std::scoped_lock lock(mu_);
   ++stats_.one_sided_ops;
+  return StatusCode::kOk;
+}
+
+StatusCode Endpoint::check_one_sided_fault(EndpointId dst) {
+  FaultInjector* faults = fabric_.faults();
+  if (faults == nullptr) return StatusCode::kOk;
+  if (faults->link_down(id_, dst)) {
+    const std::scoped_lock lock(mu_);
+    ++stats_.faults_link_down;
+    return StatusCode::kNetworkError;
+  }
+  if (faults->fail_one_sided(id_, dst)) {
+    // The op posts (doorbell paid) but completes in error -- the verbs
+    // "completion with error" path.
+    sim::advance(fabric_.profile().doorbell);
+    const std::scoped_lock lock(mu_);
+    ++stats_.faults_one_sided;
+    return StatusCode::kNetworkError;
+  }
   return StatusCode::kOk;
 }
 

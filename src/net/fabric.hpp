@@ -29,6 +29,7 @@
 #include "common/profiles.hpp"
 #include "common/queue.hpp"
 #include "common/status.hpp"
+#include "net/fault.hpp"
 #include "net/message.hpp"
 
 namespace hykv::net {
@@ -59,6 +60,24 @@ struct EndpointStats {
   std::uint64_t one_sided_ops = 0;
   std::uint64_t registrations = 0;       ///< Cold ibv_reg_mr calls.
   std::uint64_t registration_hits = 0;   ///< Registration-cache hits.
+  // Injected-fault counters (all zero on a perfect fabric).
+  std::uint64_t faults_dropped = 0;      ///< Messages lost by the injector.
+  std::uint64_t faults_duplicated = 0;   ///< Messages delivered twice.
+  std::uint64_t faults_delayed = 0;      ///< Messages given extra delay.
+  std::uint64_t faults_link_down = 0;    ///< Sends/ops refused: link down.
+  std::uint64_t faults_one_sided = 0;    ///< Failed rdma_read/rdma_write ops.
+};
+
+/// Exact composite registration-cache key. Hashing (addr, len) into a single
+/// uint64 could collide and alias two distinct regions; exact keying cannot.
+struct RegCacheKey {
+  const char* addr = nullptr;
+  std::size_t len = 0;
+  bool operator==(const RegCacheKey&) const noexcept = default;
+};
+
+struct RegCacheKeyHash {
+  std::size_t operator()(const RegCacheKey& key) const noexcept;
 };
 
 class Endpoint {
@@ -106,6 +125,9 @@ class Endpoint {
  private:
   friend class Fabric;
 
+  /// Injected-failure check shared by the one-sided ops: kOk to proceed.
+  StatusCode check_one_sided_fault(EndpointId dst);
+
   Fabric& fabric_;
   EndpointId id_;
   std::string name_;
@@ -115,7 +137,7 @@ class Endpoint {
   EndpointStats stats_;
   // Registration cache: (addr, len) -> region. Emulates the lazy
   // deregistration caches RDMA middleware uses to amortise ibv_reg_mr.
-  std::unordered_map<std::uint64_t, MemoryRegion> reg_cache_;
+  std::unordered_map<RegCacheKey, MemoryRegion, RegCacheKeyHash> reg_cache_;
   std::uint64_t next_rkey_ = 1;
   // Regions visible to one-sided remote access, by rkey.
   std::unordered_map<std::uint64_t, MemoryRegion> exposed_;
@@ -126,7 +148,10 @@ class Endpoint {
 
 class Fabric {
  public:
-  explicit Fabric(FabricProfile profile);
+  /// `faults` defaults to a perfect fabric; with FaultProfile::none() the
+  /// injector is never constructed and the data path pays one null check.
+  explicit Fabric(FabricProfile profile,
+                  FaultProfile faults = FaultProfile::none());
 
   /// Creates an endpoint attached to this fabric. Endpoints live as long as
   /// the fabric; shared_ptr keeps teardown order forgiving.
@@ -134,9 +159,25 @@ class Fabric {
 
   [[nodiscard]] const FabricProfile& profile() const noexcept { return profile_; }
 
+  /// Fault injector, or nullptr on a perfect fabric.
+  [[nodiscard]] FaultInjector* faults() noexcept { return faults_.get(); }
+
+  /// Convenience: flip an endpoint's link state (no-op without an injector
+  /// -- a perfect fabric has no link failures to model).
+  void set_link_down(EndpointId endpoint, bool down) {
+    if (faults_ != nullptr) faults_->set_link_down(endpoint, down);
+  }
+
   /// Total payload bytes moved (diagnostics).
   [[nodiscard]] std::uint64_t total_bytes() const noexcept {
     return total_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Endpoint lookup by id (nullptr when unknown) -- diagnostics/tests.
+  [[nodiscard]] std::shared_ptr<Endpoint> endpoint(EndpointId id) {
+    const std::scoped_lock lock(mu_);
+    auto it = endpoints_.find(id);
+    return it == endpoints_.end() ? nullptr : it->second;
   }
 
  private:
@@ -152,6 +193,7 @@ class Fabric {
   Endpoint* find(EndpointId id);
 
   FabricProfile profile_;
+  std::unique_ptr<FaultInjector> faults_;
   std::mutex mu_;
   std::unordered_map<EndpointId, std::shared_ptr<Endpoint>> endpoints_;
   EndpointId next_id_ = 1;

@@ -258,6 +258,7 @@ std::vector<char> MemcachedServer::render_stats() const {
       "items %zu\nram_hits %llu\nssd_hits %llu\nmisses %llu\nexpired %llu\n"
       "flushes %llu\nflushed_bytes %llu\npromotions %llu\n"
       "dropped_evictions %llu\nssd_live_bytes %llu\n"
+      "io_errors %llu\ndegraded %d\n"
       "slab_pages %zu\nslab_reserved_bytes %zu\nslab_used_chunks %zu\n",
       static_cast<unsigned long long>(c.requests),
       static_cast<unsigned long long>(c.sets),
@@ -272,7 +273,9 @@ std::vector<char> MemcachedServer::render_stats() const {
       static_cast<unsigned long long>(store.flushed_bytes),
       static_cast<unsigned long long>(store.promotions),
       static_cast<unsigned long long>(store.dropped_evictions),
-      static_cast<unsigned long long>(store.ssd_live_bytes), slab.slab_pages,
+      static_cast<unsigned long long>(store.ssd_live_bytes),
+      static_cast<unsigned long long>(store.io_errors),
+      store.degraded ? 1 : 0, slab.slab_pages,
       slab.reserved_bytes, slab.used_chunks);
   return {buf, buf + (len > 0 ? len : 0)};
 }

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <memory>
 
+#include "common/hash.hpp"
 #include "common/sim_time.hpp"
 
 namespace hykv::ssd {
@@ -80,8 +81,55 @@ StatusCode SsdDevice::read_raw(ExtentId id, std::size_t offset,
   return StatusCode::kOk;
 }
 
+bool SsdDevice::inject_error() {
+  if (!fault_armed_.load(std::memory_order_relaxed)) return false;
+  const std::scoped_lock lock(meta_mu_);
+  if (failed_) {
+    ++stats_.io_errors;
+    return true;
+  }
+  if (!faults_.enabled()) return false;
+  // Deterministic draw: the n-th access fails iff the seeded chain says so,
+  // independent of timing or thread interleaving.
+  const std::uint64_t h = mix64(mix64(faults_.seed) ^ mix64(fault_seq_++));
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  if (u < faults_.error_rate) {
+    ++stats_.io_errors;
+    return true;
+  }
+  return false;
+}
+
+StatusCode SsdDevice::check_fault() {
+  return inject_error() ? StatusCode::kIoError : StatusCode::kOk;
+}
+
+void SsdDevice::set_fault_profile(SsdFaultProfile faults) {
+  const std::scoped_lock lock(meta_mu_);
+  faults_ = faults;
+  fault_seq_ = 0;
+  fault_armed_.store(failed_ || faults_.enabled(), std::memory_order_relaxed);
+}
+
+void SsdDevice::set_failed(bool failed) {
+  const std::scoped_lock lock(meta_mu_);
+  failed_ = failed;
+  fault_armed_.store(failed_ || faults_.enabled(), std::memory_order_relaxed);
+}
+
+bool SsdDevice::failed() const {
+  const std::scoped_lock lock(meta_mu_);
+  return failed_;
+}
+
 StatusCode SsdDevice::write(ExtentId id, std::size_t offset,
                             std::span<const char> data) {
+  if (inject_error()) {
+    // The failed attempt still occupied the bus/channel before the
+    // controller reported the error.
+    occupy(profile_.write_time(data.size()));
+    return StatusCode::kIoError;
+  }
   // Validate + copy first (host-side), then occupy the device for the
   // modelled duration. Ordering is unobservable to callers because write()
   // returns only after both.
@@ -99,6 +147,10 @@ StatusCode SsdDevice::write(ExtentId id, std::size_t offset,
 }
 
 StatusCode SsdDevice::read(ExtentId id, std::size_t offset, std::span<char> out) {
+  if (inject_error()) {
+    occupy(profile_.read_time(out.size()));
+    return StatusCode::kIoError;
+  }
   occupy_read(out.size());
   return read_raw(id, offset, out);
 }

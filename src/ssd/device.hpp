@@ -26,6 +26,16 @@ namespace hykv::ssd {
 using ExtentId = std::uint64_t;
 constexpr ExtentId kInvalidExtent = 0;
 
+/// Deterministic transient-error injection for the device: each modelled
+/// write()/read() draws from a seeded hash chain and fails with kIoError at
+/// `error_rate`. Identical seeds reproduce identical error schedules
+/// regardless of wall-clock timing (chaos tests rely on this).
+struct SsdFaultProfile {
+  double error_rate = 0.0;  ///< Probability an access fails with kIoError.
+  std::uint64_t seed = 1;
+  [[nodiscard]] bool enabled() const noexcept { return error_rate > 0.0; }
+};
+
 /// Cumulative device counters (for benches and tests).
 struct DeviceStats {
   std::uint64_t reads = 0;
@@ -33,6 +43,7 @@ struct DeviceStats {
   std::uint64_t read_bytes = 0;
   std::uint64_t written_bytes = 0;
   std::uint64_t busy_ns = 0;  ///< Total modelled channel-occupancy time.
+  std::uint64_t io_errors = 0;  ///< Injected/forced access failures.
 };
 
 class SsdDevice {
@@ -68,6 +79,22 @@ class SsdDevice {
   void occupy_write(std::size_t bytes);
   void occupy_read(std::size_t bytes);
 
+  /// Installs (or clears, with a zero-rate profile) transient-error
+  /// injection. The modelled write()/read() paths draw implicitly; the raw
+  /// paths model host-side page-cache copies and stay reliable -- the page
+  /// cache instead calls check_fault() at its genuine device-touch points.
+  void set_fault_profile(SsdFaultProfile faults);
+
+  /// Draws the next transient-fault verdict without moving data: kIoError
+  /// when this device access should fail (counted in io_errors), kOk
+  /// otherwise. Free when no faults are armed.
+  [[nodiscard]] StatusCode check_fault();
+
+  /// Hard outage toggle: while failed, every modelled access returns
+  /// kIoError. Models a device drop-off / controller reset window.
+  void set_failed(bool failed);
+  [[nodiscard]] bool failed() const;
+
   [[nodiscard]] const SsdProfile& profile() const noexcept { return profile_; }
   [[nodiscard]] std::size_t used_bytes() const;
   [[nodiscard]] std::size_t extent_size(ExtentId id) const;
@@ -76,6 +103,8 @@ class SsdDevice {
 
  private:
   void occupy(sim::Nanos cost);
+  /// True when this access should fail; bumps the io_errors counter.
+  [[nodiscard]] bool inject_error();
 
   SsdProfile profile_;
   mutable std::mutex meta_mu_;
@@ -83,6 +112,12 @@ class SsdDevice {
   ExtentId next_id_ = 1;
   std::size_t used_bytes_ = 0;
   DeviceStats stats_;
+  SsdFaultProfile faults_;
+  std::uint64_t fault_seq_ = 0;  ///< Per-access ordinal for the hash chain.
+  bool failed_ = false;
+  /// Lock-free gate: true iff failed_ or faults_ is enabled. Lets the
+  /// fault-free data path skip meta_mu_ entirely (zero happy-path overhead).
+  std::atomic<bool> fault_armed_{false};
 
   // Channel serialisation: ops round-robin over channels; each channel admits
   // one modelled access at a time.

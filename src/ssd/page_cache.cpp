@@ -76,6 +76,10 @@ void PageCache::charge_write_path(std::size_t offset, std::span<const char> data
 StatusCode PageCache::write(ExtentId id, std::size_t offset,
                             std::span<const char> data) {
   charge_write_path(offset, data, id, /*via_mmap=*/false);
+  // Transient device errors surface to the writer (EIO from write(2) once
+  // the kernel knows the device is erroring) -- the hook that lets the
+  // hybrid manager's flush path observe SSD outages through this engine.
+  if (const StatusCode fault = device_.check_fault(); !ok(fault)) return fault;
   const StatusCode code = device_.write_raw(id, offset, data);
   if (!ok(code)) return code;
 
@@ -108,6 +112,9 @@ StatusCode PageCache::write(ExtentId id, std::size_t offset,
 StatusCode PageCache::mmap_write(ExtentId id, std::size_t offset,
                                  std::span<const char> data) {
   charge_write_path(offset, data, id, /*via_mmap=*/true);
+  // A store into a failing mapping raises SIGBUS in reality; modelled as a
+  // clean kIoError so flush_batch can react (degraded mode).
+  if (const StatusCode fault = device_.check_fault(); !ok(fault)) return fault;
   const StatusCode code = device_.write_raw(id, offset, data);
   if (!ok(code)) return code;
 
@@ -156,6 +163,9 @@ StatusCode PageCache::read(ExtentId id, std::size_t offset, std::span<char> out)
     return device_.read_raw(id, offset, out);
   }
   sim::advance(config_.host.syscall_overhead);
+  // Cache miss: a real device read -- transient errors apply (hits above are
+  // served from RAM and cannot fail).
+  if (const StatusCode fault = device_.check_fault(); !ok(fault)) return fault;
   device_.occupy_read(out.size());
   const StatusCode code = device_.read_raw(id, offset, out);
   if (!ok(code)) return code;
@@ -197,6 +207,7 @@ StatusCode PageCache::mmap_read(ExtentId id, std::size_t offset,
   }
   // Major fault: device read for the touched pages.
   if (first_map) sim::advance(config_.host.mmap_setup);
+  if (const StatusCode fault = device_.check_fault(); !ok(fault)) return fault;
   device_.occupy_read(out.size());
   const StatusCode code = device_.read_raw(id, offset, out);
   if (!ok(code)) return code;

@@ -34,6 +34,15 @@ void HybridSlabManager::ExtentHandle::mark_ready() {
   cv.notify_all();
 }
 
+void HybridSlabManager::ExtentHandle::mark_failed() {
+  {
+    const std::scoped_lock lock(mu);
+    failed = true;
+    ready = true;  // wake waiters; they must check `failed`
+  }
+  cv.notify_all();
+}
+
 void HybridSlabManager::ExtentHandle::wait_ready() {
   std::unique_lock lock(mu);
   cv.wait(lock, [&] { return ready; });
@@ -76,6 +85,21 @@ void HybridSlabManager::release_record_locked(
   const std::size_t bytes =
       SsdItemFraming::record_size(record->key_len, record->value_len);
   stats_.ssd_live_bytes -= std::min<std::uint64_t>(stats_.ssd_live_bytes, bytes);
+}
+
+void HybridSlabManager::note_io_failure_locked() {
+  ++stats_.io_errors;
+  ++consecutive_io_errors_;
+  if (!stats_.degraded &&
+      consecutive_io_errors_ >= config_.degrade_after_io_errors) {
+    stats_.degraded = true;
+    HYKV_WARN("storage degraded after %u consecutive I/O errors: "
+              "RAM-only mode (evict instead of flush)",
+              consecutive_io_errors_);
+  }
+  if (stats_.degraded) {
+    heal_probe_at_ = sim::now() + config_.heal_probe_after;
+  }
 }
 
 bool HybridSlabManager::drop_one(unsigned cls) {
@@ -184,9 +208,37 @@ bool HybridSlabManager::flush_batch(unsigned cls,
   if (!ok(code)) {
     HYKV_ERROR("flush write failed: %.*s",
                static_cast<int>(to_string(code).size()), to_string(code).data());
+    handle->mark_failed();
+  } else {
+    handle->mark_ready();
   }
-  handle->mark_ready();
   lock.lock();
+  if (!ok(code)) {
+    // The extent never became durable: these victims are lost. Erase every
+    // entry still pointing at the failed batch (a concurrent set may have
+    // displaced some already) -- counted, never silent.
+    stats_.flushes -= std::min<std::uint64_t>(stats_.flushes, 1);
+    stats_.flushed_items -=
+        std::min<std::uint64_t>(stats_.flushed_items, victims.size());
+    stats_.flushed_bytes -=
+        std::min<std::uint64_t>(stats_.flushed_bytes, staging.size());
+    for (std::size_t i = 0; i < victims.size(); ++i) {
+      Entry* entry = index_.find(victims[i].key);
+      if (entry != nullptr && entry->ram == nullptr &&
+          entry->ssd == records[i]) {
+        release_record_locked(records[i]);
+        index_.erase(victims[i].key);
+        ++stats_.dropped_evictions;
+      }
+    }
+    note_io_failure_locked();
+  } else {
+    consecutive_io_errors_ = 0;
+    if (stats_.degraded) {
+      stats_.degraded = false;
+      HYKV_WARN("storage healed: flush probe succeeded, leaving RAM-only mode");
+    }
+  }
   return true;
 }
 
@@ -196,6 +248,12 @@ char* HybridSlabManager::allocate_with_reclaim(
     char* chunk = slabs_.allocate(cls);
     if (chunk != nullptr) return chunk;
     if (config_.mode == StorageMode::kInMemory) {
+      if (!drop_one(cls)) return nullptr;
+    } else if (stats_.degraded && sim::now() < heal_probe_at_) {
+      // Degraded (RAM-only) mode: the SSD is misbehaving, so evict like the
+      // in-memory design instead of queueing stores behind a failing device.
+      // Once the probe timer expires the next allocation falls through to
+      // flush_batch, which is the half-open heal attempt.
       if (!drop_one(cls)) return nullptr;
     } else {
       if (!flush_batch(cls, lock)) {
@@ -344,6 +402,21 @@ StatusCode HybridSlabManager::get(std::string_view key, std::vector<char>& out,
   lock.unlock();
 
   record->extent->wait_ready();
+  if (record->extent->failed) {
+    // The flush backing this record never reached the device: the data is
+    // gone. flush_batch already erased the index entries; this reader just
+    // pinned the record before that happened.
+    charge_check();
+    lock.lock();
+    Entry* current = index_.find(key);
+    if (current != nullptr && current->ram == nullptr &&
+        current->ssd == record) {
+      release_record_locked(record);
+      index_.erase(key);
+    }
+    ++stats_.misses;
+    return StatusCode::kIoError;
+  }
   out.resize(record->value_len);
   const std::size_t value_offset = record->record_offset +
                                    SsdItemFraming::kHeaderBytes +
@@ -368,8 +441,15 @@ StatusCode HybridSlabManager::get(std::string_view key, std::vector<char>& out,
   lock.lock();
   if (!ok(code)) {
     ++stats_.misses;
+    if (code == StatusCode::kIoError) {
+      // Transient read error: the record stays indexed (a later read may
+      // succeed) but the failure counts toward the degradation streak.
+      note_io_failure_locked();
+      return StatusCode::kIoError;
+    }
     return StatusCode::kServerError;
   }
+  consecutive_io_errors_ = 0;  // a served read breaks the failure streak
   if (crc32c(static_cast<const void*>(out.data()), out.size()) != record->value_crc) {
     ++stats_.checksum_failures;
     ++stats_.misses;

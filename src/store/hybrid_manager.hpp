@@ -32,6 +32,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/sim_time.hpp"
 #include "common/stage.hpp"
 #include "common/status.hpp"
 #include "ssd/io_engine.hpp"
@@ -63,6 +64,14 @@ struct ManagerConfig {
   bool force_promote = false;
   /// Max bytes serialised per flush (one slab page by default).
   std::size_t flush_batch_bytes = std::size_t{1} << 20;
+  /// Degraded (RAM-only) mode: after this many *consecutive* SSD I/O errors
+  /// the manager stops flushing and evicts like the in-memory design --
+  /// better to lose cold cache entries than to wedge every Set behind a
+  /// failing device.
+  unsigned degrade_after_io_errors = 3;
+  /// While degraded, one flush is re-attempted (half-open probe) after this
+  /// much real time; success leaves degraded mode.
+  sim::Nanos heal_probe_after = sim::ms(50);
 };
 
 struct ManagerStats {
@@ -79,6 +88,8 @@ struct ManagerStats {
   std::uint64_t dropped_evictions = 0;///< Items lost (in-memory LRU / SSD full).
   std::uint64_t ssd_live_bytes = 0;   ///< Live (referenced) bytes on SSD.
   std::uint64_t checksum_failures = 0;
+  std::uint64_t io_errors = 0;        ///< SSD accesses that failed (kIoError).
+  bool degraded = false;              ///< RAM-only mode (SSD deemed unhealthy).
 };
 
 class HybridSlabManager {
@@ -170,8 +181,12 @@ class HybridSlabManager {
     std::mutex mu;
     std::condition_variable cv;
     bool ready = false;
+    bool failed = false;  ///< Write-back never became durable (I/O error).
 
     void mark_ready();
+    /// Wakes waiters with failed set: readers pinned to this extent must
+    /// report the loss (kIoError) instead of returning garbage.
+    void mark_failed();
     void wait_ready();
     ~ExtentHandle();
   };
@@ -210,6 +225,10 @@ class HybridSlabManager {
   [[nodiscard]] bool expired(std::int64_t expiry) const noexcept;
   void release_record_locked(const std::shared_ptr<SsdRecord>& record);
 
+  /// Accounts one failed SSD access; enters degraded mode at the configured
+  /// streak and (re)arms the heal-probe timer. Caller must hold mu_.
+  void note_io_failure_locked();
+
   /// Current CAS version of the entry, whichever tier it lives in
   /// (0 = entry absent/expired). Caller must hold mu_.
   std::uint64_t current_cas_locked(const Entry* entry) const;
@@ -223,6 +242,8 @@ class HybridSlabManager {
   HashMap<Entry> index_;
   std::vector<LruList> lru_;  ///< One per slab class.
   ManagerStats stats_;
+  unsigned consecutive_io_errors_ = 0;  ///< Streak driving degradation.
+  sim::TimePoint heal_probe_at_{};      ///< Next half-open flush attempt.
 };
 
 /// Seconds on the steady clock -- the manager's expiry time base.

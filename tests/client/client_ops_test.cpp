@@ -162,6 +162,10 @@ TEST_F(ClientOpsTest, CancelOnCompletedRequestReturnsRealStatus) {
 TEST_F(ClientOpsTest, CancelledBsetReleasesItsBounceSlot) {
   TestBedConfig cfg = small_bed(Design::kHRdmaOptNonbB);
   cfg.client_bounce_slots = 2;  // tiny pool to expose slot leaks
+  // Keep the dead server selectable: this test is about slot recycling, not
+  // failover (each cancelled attempt would otherwise eject it and turn the
+  // later bsets into kServerDown fail-fasts).
+  cfg.client_failover.eject_after = 1000;
   TestBed bed(cfg);
   auto client = bed.make_client("c");
   bed.server(0).stop();
@@ -174,6 +178,85 @@ TEST_F(ClientOpsTest, CancelledBsetReleasesItsBounceSlot) {
               StatusCode::kOk);
     EXPECT_EQ(client->wait_for(req, sim::ms(20)), StatusCode::kTimedOut) << i;
   }
+}
+
+TEST_F(ClientOpsTest, CancelRacesLateResponseHarmlessly) {
+  // Cancel from the application thread while the server's response is in
+  // flight. Whatever side wins, the request must end terminal, the late
+  // response must be swallowed as stale (the wr_id was unregistered), and
+  // the client must stay fully usable -- no corrupted slots, no leaked
+  // pending entries.
+  TestBedConfig cfg = small_bed(Design::kRdmaMem);
+  cfg.client_bounce_slots = 2;  // tiny pool: a leaked slot deadlocks fast
+  // Cancel-wins iterations record ring failures against a healthy server;
+  // disable ejection so every iteration exercises the race, not fail-fast.
+  cfg.client_failover.eject_after = 1000;
+  TestBed bed(cfg);
+  auto client = bed.make_client("c");
+  const auto value = make_value(5, 2048);
+  int raced_completions = 0;
+  for (int i = 0; i < 50; ++i) {
+    client::Request req;
+    ASSERT_EQ(client->bset(make_key(static_cast<std::uint64_t>(i)), value, 0,
+                           0, req),
+              StatusCode::kOk);
+    const StatusCode code = client->cancel(req);
+    // Either our cancel won (kTimedOut) or the completion raced in first.
+    ASSERT_TRUE(code == StatusCode::kTimedOut || code == StatusCode::kOk) << i;
+    EXPECT_TRUE(req.done()) << i;
+    EXPECT_EQ(req.status(), code) << i;
+    if (code == StatusCode::kOk) ++raced_completions;
+  }
+  // The client survived every outcome: a fresh round-trip still works and
+  // nothing leaked.
+  ASSERT_EQ(client->set("alive", bytes("yes")), StatusCode::kOk);
+  std::vector<char> out;
+  ASSERT_EQ(client->get("alive", out), StatusCode::kOk);
+  EXPECT_EQ(std::string(out.begin(), out.end()), "yes");
+  EXPECT_EQ(client->pending_requests(), 0u);
+  EXPECT_EQ(client->free_bounce_slots(), cfg.client_bounce_slots);
+  (void)raced_completions;  // either interleaving is legal
+}
+
+TEST_F(ClientOpsTest, WaitForRacingCompletionNeverMisreports) {
+  // Drive wait_for's timeout edge against live completions: with a timeout
+  // in the same ballpark as the round-trip, both branches of the race get
+  // exercised. The contract: the returned status equals the request's final
+  // status, is terminal, and a timed-out request is really cancelled (its
+  // late response is dropped as stale, not delivered to a reused wr_id).
+  TestBedConfig cfg = small_bed(Design::kRdmaMem);
+  // A run of timeout-wins iterations must not eject the healthy server.
+  cfg.client_failover.eject_after = 1000;
+  TestBed bed(cfg);
+  auto client = bed.make_client("c");
+  const auto value = make_value(6, 1024);
+  int timed_out = 0;
+  for (int i = 0; i < 50; ++i) {
+    client::Request req;
+    ASSERT_EQ(client->iset(make_key(static_cast<std::uint64_t>(i)), value, 0,
+                           0, req),
+              StatusCode::kOk);
+    // Alternate between an instant deadline (completion must race to win)
+    // and a tiny-but-plausible one.
+    const auto timeout = (i % 2 == 0) ? sim::Nanos{0} : sim::us(200);
+    const StatusCode code = client->wait_for(req, timeout);
+    ASSERT_TRUE(code == StatusCode::kOk || code == StatusCode::kTimedOut) << i;
+    EXPECT_TRUE(req.done()) << i;
+    EXPECT_EQ(req.status(), code) << i;
+    if (code == StatusCode::kTimedOut) ++timed_out;
+  }
+  EXPECT_EQ(client->pending_requests(), 0u);
+  // Keys whose set timed out may or may not have landed; the store must
+  // simply remain coherent -- reads return kOk or kNotFound, never garbage.
+  std::vector<char> out;
+  for (int i = 0; i < 50; ++i) {
+    const StatusCode code = client->get(make_key(static_cast<std::uint64_t>(i)), out);
+    ASSERT_TRUE(code == StatusCode::kOk || code == StatusCode::kNotFound) << i;
+    if (ok(code)) {
+      EXPECT_EQ(out, value) << i;
+    }
+  }
+  (void)timed_out;
 }
 
 TEST_F(ClientOpsTest, CompatShimCoversExtendedOps) {

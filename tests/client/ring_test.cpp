@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <map>
+#include <thread>
 
 #include "common/random.hpp"
+#include "common/sim_time.hpp"
 
 namespace hykv::client {
 namespace {
@@ -50,6 +53,102 @@ TEST(ServerRingTest, RemovingServerOnlyRemapsItsKeys) {
     if (reduced.select(key) != before) ++moved_but_should_not;
   }
   EXPECT_EQ(moved_but_should_not, 0);
+}
+
+TEST(ServerRingTest, EmptyServerListThrows) {
+  EXPECT_THROW(ServerRing(std::vector<net::EndpointId>{}), std::invalid_argument);
+}
+
+TEST(ServerRingTest, EjectsAfterConsecutiveFailuresAndRemapsKeys) {
+  sim::init_precise_timing();
+  FailoverPolicy policy;
+  policy.eject_after = 3;
+  policy.reprobe_after = sim::ms(10'000);  // far away: no half-open here
+  ServerRing ring({1, 2, 3}, 160, policy);
+
+  // Two failures are below the threshold; the streak resets on success.
+  ring.record_failure(2);
+  ring.record_failure(2);
+  EXPECT_FALSE(ring.is_dead(2));
+  ring.record_success(2);
+  ring.record_failure(2);
+  ring.record_failure(2);
+  EXPECT_FALSE(ring.is_dead(2));
+  ring.record_failure(2);
+  EXPECT_TRUE(ring.is_dead(2));
+  EXPECT_EQ(ring.dead_count(), 1u);
+  EXPECT_FALSE(ring.accepting(2));
+
+  // Every key now maps to a survivor, and keys the survivors already owned
+  // keep their placement (ketama failover, not a reshuffle).
+  ServerRing healthy({1, 2, 3}, 160, policy);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const auto key = make_key(i);
+    const auto owner = ring.select(key);
+    EXPECT_NE(owner, 2u) << key;
+    if (healthy.select(key) != 2) {
+      EXPECT_EQ(owner, healthy.select(key)) << key;
+    }
+  }
+
+  // Readmission restores the original placement exactly.
+  ring.record_success(2);
+  EXPECT_FALSE(ring.is_dead(2));
+  EXPECT_EQ(ring.dead_count(), 0u);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(ring.select(make_key(i)), healthy.select(make_key(i)));
+  }
+}
+
+TEST(ServerRingTest, HalfOpenProbeOffersDeadServerAfterTimer) {
+  sim::init_precise_timing();
+  FailoverPolicy policy;
+  policy.eject_after = 1;
+  policy.reprobe_after = sim::ms(30);  // real time
+  ServerRing ring({1, 2}, 160, policy);
+  ring.record_failure(1);
+  ASSERT_TRUE(ring.is_dead(1));
+  EXPECT_FALSE(ring.accepting(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  // Probe due: selection may offer server 1 again even though it is still
+  // marked dead -- the half-open state.
+  EXPECT_TRUE(ring.accepting(1));
+  EXPECT_TRUE(ring.is_dead(1));
+  // A failed probe re-arms the timer...
+  ring.record_failure(1);
+  EXPECT_FALSE(ring.accepting(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_TRUE(ring.accepting(1));
+  // ...and a successful one readmits for good.
+  ring.record_success(1);
+  EXPECT_FALSE(ring.is_dead(1));
+  EXPECT_TRUE(ring.accepting(1));
+}
+
+TEST(ServerRingTest, AllServersDeadFailsFastOnPrimaryOwner) {
+  sim::init_precise_timing();
+  FailoverPolicy policy;
+  policy.eject_after = 1;
+  policy.reprobe_after = sim::ms(10'000);
+  ServerRing ring({1, 2}, 160, policy);
+  ServerRing healthy({1, 2}, 160, policy);
+  ring.record_failure(1);
+  ring.record_failure(2);
+  ASSERT_EQ(ring.dead_count(), 2u);
+  // Selection still terminates and names the primary owner, so the caller
+  // can fail fast with kServerDown instead of spinning.
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(ring.select(make_key(i)), healthy.select(make_key(i))) << i;
+  }
+}
+
+TEST(ServerRingTest, FailuresAgainstUnknownServerAreIgnored) {
+  ServerRing ring({1});
+  ring.record_failure(99);
+  ring.record_success(99);
+  EXPECT_FALSE(ring.is_dead(99));
+  EXPECT_EQ(ring.dead_count(), 0u);
+  EXPECT_TRUE(ring.accepting(99));  // not tracked: caller may try
 }
 
 }  // namespace
