@@ -7,7 +7,9 @@
 // scaled -- microseconds printed here are modelled microseconds.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
@@ -93,12 +95,23 @@ struct Outcome {
   }
 };
 
+/// Smoke mode (HYKV_BENCH_SMOKE=1, the `bench-smoke` ctest label): clamp op
+/// counts so every bench binary exercises its full pipeline in seconds. The
+/// printed figures are meaningless in this mode -- it exists to catch
+/// bit-rot, not to regenerate figures.
+inline std::uint64_t smoke_clamped_ops(std::uint64_t operations) {
+  if (std::getenv("HYKV_BENCH_SMOKE") != nullptr) {
+    return std::min<std::uint64_t>(operations, 96);
+  }
+  return operations;
+}
+
 inline Outcome run_scenario(const Scenario& s) {
   workload::WorkloadConfig wl;
   wl.key_count = keys_for_ratio(s.data_ratio, s.total_memory, s.value_bytes);
   wl.value_bytes = s.value_bytes;
   wl.read_fraction = s.read_fraction;
-  wl.operations = s.operations;
+  wl.operations = smoke_clamped_ops(s.operations);
   wl.api = core::api_mode(s.design);
   wl.verify_values = true;
   wl.window = s.window;

@@ -57,6 +57,7 @@ TestBed::TestBed(TestBedConfig config)
     // H-RDMA-Def swaps SSD-resident items back into RAM on access
     // (Ouyang'12 semantics); the optimised designs promote opportunistically.
     server_config.manager.force_promote = config_.design == Design::kHRdmaDef;
+    server_config.manager.shards = config_.shards;
     server_config.manager.ssd_limit = per_server_ssd;
     server_config.manager.slab.slab_bytes = config_.slab_bytes;
     server_config.manager.slab.memory_limit = per_server_memory;
@@ -97,24 +98,7 @@ StageBreakdown TestBed::server_breakdown() const {
 
 store::ManagerStats TestBed::store_stats() const {
   store::ManagerStats total;
-  for (const auto& server : servers_) {
-    const auto s = server->store_stats();
-    total.sets += s.sets;
-    total.ram_hits += s.ram_hits;
-    total.ssd_hits += s.ssd_hits;
-    total.misses += s.misses;
-    total.expired += s.expired;
-    total.deletes += s.deletes;
-    total.flushes += s.flushes;
-    total.flushed_items += s.flushed_items;
-    total.flushed_bytes += s.flushed_bytes;
-    total.promotions += s.promotions;
-    total.dropped_evictions += s.dropped_evictions;
-    total.ssd_live_bytes += s.ssd_live_bytes;
-    total.checksum_failures += s.checksum_failures;
-    total.io_errors += s.io_errors;
-    total.degraded = total.degraded || s.degraded;
-  }
+  for (const auto& server : servers_) total.merge_from(server->store_stats());
   return total;
 }
 

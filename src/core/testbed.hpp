@@ -34,6 +34,10 @@ struct TestBedConfig {
   std::size_t slab_bytes = std::size_t{1} << 20;
   std::size_t adaptive_threshold = std::size_t{64} << 10;
   bool promote_on_hit = true;
+  /// Store shards per server (power of two; 0 = auto ~2x hardware threads).
+  /// Default 1 reproduces the paper's single-instance slab manager; the
+  /// shard-scaling ablation and stress tests raise it explicitly.
+  unsigned shards = 1;
   unsigned processing_threads = 1;
   std::size_t server_buffer_slots = 16;
   std::size_t client_bounce_slots = 16;

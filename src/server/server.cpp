@@ -7,6 +7,51 @@
 #include "server/protocol.hpp"
 
 namespace hykv::server {
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+void append_stat(std::string& out, std::string_view name, std::uint64_t v) {
+  out.append(name);
+  out.push_back(' ');
+  out.append(std::to_string(v));
+  out.push_back('\n');
+}
+
+}  // namespace
+
+std::string render_stats_text(const ServerCounters& counters,
+                              const store::ManagerStats& store,
+                              const store::SlabStats& slab,
+                              std::size_t item_count, unsigned shards) {
+  std::string out;
+  out.reserve(640);
+  append_stat(out, "requests", counters.requests);
+  append_stat(out, "sets", counters.sets);
+  append_stat(out, "gets", counters.gets);
+  append_stat(out, "deletes", counters.deletes);
+  append_stat(out, "touches", counters.touches);
+  append_stat(out, "admin", counters.admin);
+  append_stat(out, "malformed", counters.malformed);
+  append_stat(out, "items", item_count);
+  append_stat(out, "ram_hits", store.ram_hits);
+  append_stat(out, "ssd_hits", store.ssd_hits);
+  append_stat(out, "misses", store.misses);
+  append_stat(out, "expired", store.expired);
+  append_stat(out, "flushes", store.flushes);
+  append_stat(out, "flushed_bytes", store.flushed_bytes);
+  append_stat(out, "promotions", store.promotions);
+  append_stat(out, "dropped_evictions", store.dropped_evictions);
+  append_stat(out, "ssd_live_bytes", store.ssd_live_bytes);
+  append_stat(out, "io_errors", store.io_errors);
+  append_stat(out, "degraded", store.degraded ? 1 : 0);
+  append_stat(out, "degraded_shards", store.degraded_shards);
+  append_stat(out, "shards", shards);
+  append_stat(out, "slab_pages", slab.slab_pages);
+  append_stat(out, "slab_reserved_bytes", slab.reserved_bytes);
+  append_stat(out, "slab_used_chunks", slab.used_chunks);
+  return out;
+}
 
 MemcachedServer::MemcachedServer(net::Fabric& fabric, ServerConfig config,
                                  ssd::StorageStack* storage)
@@ -14,7 +59,8 @@ MemcachedServer::MemcachedServer(net::Fabric& fabric, ServerConfig config,
       config_(std::move(config)),
       endpoint_(fabric_.create_endpoint(config_.name)),
       manager_(config_.manager, storage),
-      buffered_(config_.async_processing ? config_.request_buffer_slots : 0) {}
+      buffered_(config_.async_processing ? config_.request_buffer_slots : 0),
+      metrics_(1 + (config_.async_processing ? config_.processing_threads : 0)) {}
 
 MemcachedServer::~MemcachedServer() { stop(); }
 
@@ -39,7 +85,6 @@ void MemcachedServer::stop() {
 }
 
 void MemcachedServer::network_main() {
-  StageBreakdown local;
   while (true) {
     auto msg = endpoint_->recv();
     if (!msg.ok()) break;  // endpoint closed
@@ -48,36 +93,26 @@ void MemcachedServer::network_main() {
       // back-pressuring clients that try to run too far ahead.
       if (!buffered_.push(std::move(msg).value())) break;
     } else {
-      handle(msg.value(), local);
-      const std::scoped_lock lock(metrics_mu_);
-      stages_.merge(local);
-      local.reset();
+      handle(msg.value(), metrics_[0]);
     }
   }
 }
 
-void MemcachedServer::worker_main(std::size_t) {
-  StageBreakdown local;
-  while (auto msg = buffered_.pop()) {
-    handle(*msg, local);
-    const std::scoped_lock lock(metrics_mu_);
-    stages_.merge(local);
-    local.reset();
-  }
+void MemcachedServer::worker_main(std::size_t worker_index) {
+  WorkerMetrics& metrics = metrics_[1 + worker_index];
+  while (auto msg = buffered_.pop()) handle(*msg, metrics);
 }
 
 void MemcachedServer::handle(const net::Message& request,
-                             StageBreakdown& stages) {
+                             WorkerMetrics& metrics) {
   using Clock = std::chrono::steady_clock;
   StatusCode status = StatusCode::kInvalidArgument;
   std::uint32_t flags = 0;
   std::vector<char> value;
   bool has_value = false;
+  StageBreakdown stages;
 
-  {
-    const std::scoped_lock lock(metrics_mu_);
-    ++counters_.requests;
-  }
+  metrics.requests.fetch_add(1, kRelaxed);
 
   switch (request.opcode) {
     case kOpSet: {
@@ -85,11 +120,9 @@ void MemcachedServer::handle(const net::Message& request,
       if (req.has_value()) {
         status = manager_.set(req->key, req->value, req->flags,
                               req->expiration, &stages);
-        const std::scoped_lock lock(metrics_mu_);
-        ++counters_.sets;
+        metrics.sets.fetch_add(1, kRelaxed);
       } else {
-        const std::scoped_lock lock(metrics_mu_);
-        ++counters_.malformed;
+        metrics.malformed.fetch_add(1, kRelaxed);
       }
       break;
     }
@@ -98,11 +131,9 @@ void MemcachedServer::handle(const net::Message& request,
       if (req.has_value()) {
         status = manager_.get(req->key, value, flags, &stages);
         has_value = ok(status);
-        const std::scoped_lock lock(metrics_mu_);
-        ++counters_.gets;
+        metrics.gets.fetch_add(1, kRelaxed);
       } else {
-        const std::scoped_lock lock(metrics_mu_);
-        ++counters_.malformed;
+        metrics.malformed.fetch_add(1, kRelaxed);
       }
       break;
     }
@@ -110,11 +141,9 @@ void MemcachedServer::handle(const net::Message& request,
       const auto req = decode_key_request(request.payload);
       if (req.has_value()) {
         status = manager_.del(req->key);
-        const std::scoped_lock lock(metrics_mu_);
-        ++counters_.deletes;
+        metrics.deletes.fetch_add(1, kRelaxed);
       } else {
-        const std::scoped_lock lock(metrics_mu_);
-        ++counters_.malformed;
+        metrics.malformed.fetch_add(1, kRelaxed);
       }
       break;
     }
@@ -140,11 +169,9 @@ void MemcachedServer::handle(const net::Message& request,
             status = manager_.prepend(req->key, req->value, &stages);
             break;
         }
-        const std::scoped_lock lock(metrics_mu_);
-        ++counters_.sets;
+        metrics.sets.fetch_add(1, kRelaxed);
       } else {
-        const std::scoped_lock lock(metrics_mu_);
-        ++counters_.malformed;
+        metrics.malformed.fetch_add(1, kRelaxed);
       }
       break;
     }
@@ -160,11 +187,9 @@ void MemcachedServer::handle(const net::Message& request,
           value = encode_counter_value(result.value());
           has_value = true;
         }
-        const std::scoped_lock lock(metrics_mu_);
-        ++counters_.sets;
+        metrics.sets.fetch_add(1, kRelaxed);
       } else {
-        const std::scoped_lock lock(metrics_mu_);
-        ++counters_.malformed;
+        metrics.malformed.fetch_add(1, kRelaxed);
       }
       break;
     }
@@ -172,21 +197,23 @@ void MemcachedServer::handle(const net::Message& request,
       const auto req = decode_touch(request.payload);
       if (req.has_value()) {
         status = manager_.touch(req->key, req->expiration);
+        metrics.touches.fetch_add(1, kRelaxed);
       } else {
-        const std::scoped_lock lock(metrics_mu_);
-        ++counters_.malformed;
+        metrics.malformed.fetch_add(1, kRelaxed);
       }
       break;
     }
     case kOpFlushAll: {
       manager_.clear();
       status = StatusCode::kOk;
+      metrics.admin.fetch_add(1, kRelaxed);
       break;
     }
     case kOpStats: {
       value = render_stats();
       has_value = true;
       status = StatusCode::kOk;
+      metrics.admin.fetch_add(1, kRelaxed);
       break;
     }
     case kOpGets: {
@@ -201,11 +228,9 @@ void MemcachedServer::handle(const net::Message& request,
           std::memcpy(value.data() + 8, raw.data(), raw.size());
           has_value = true;
         }
-        const std::scoped_lock lock(metrics_mu_);
-        ++counters_.gets;
+        metrics.gets.fetch_add(1, kRelaxed);
       } else {
-        const std::scoped_lock lock(metrics_mu_);
-        ++counters_.malformed;
+        metrics.malformed.fetch_add(1, kRelaxed);
       }
       break;
     }
@@ -214,17 +239,14 @@ void MemcachedServer::handle(const net::Message& request,
       if (req.has_value()) {
         status = manager_.cas(req->key, req->value, req->flags,
                               req->expiration, req->cas, &stages);
-        const std::scoped_lock lock(metrics_mu_);
-        ++counters_.sets;
+        metrics.sets.fetch_add(1, kRelaxed);
       } else {
-        const std::scoped_lock lock(metrics_mu_);
-        ++counters_.malformed;
+        metrics.malformed.fetch_add(1, kRelaxed);
       }
       break;
     }
     default: {
-      const std::scoped_lock lock(metrics_mu_);
-      ++counters_.malformed;
+      metrics.malformed.fetch_add(1, kRelaxed);
       break;
     }
   }
@@ -241,59 +263,62 @@ void MemcachedServer::handle(const net::Message& request,
   endpoint_->send(request.src, kOpResponse, request.wr_id, payload);
   stages.add(Stage::kServerResponse, Clock::now() - response_start);
   stages.add_ops();
+
+  // Publish this request's stage time into the thread's slot (uncontended
+  // relaxed adds -- no shared lock anywhere on the request path).
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    const std::uint64_t ns = stages.total_ns(static_cast<Stage>(i));
+    if (ns != 0) metrics.stage_ns[i].fetch_add(ns, kRelaxed);
+  }
+  metrics.stage_ops.fetch_add(stages.ops(), kRelaxed);
 }
 
 std::vector<char> MemcachedServer::render_stats() const {
-  const auto store = manager_.stats();
-  const auto slab = manager_.slab_stats();
-  ServerCounters c;
-  {
-    const std::scoped_lock lock(metrics_mu_);
-    c = counters_;
-  }
-  char buf[1024];
-  const int len = std::snprintf(
-      buf, sizeof(buf),
-      "requests %llu\nsets %llu\ngets %llu\ndeletes %llu\nmalformed %llu\n"
-      "items %zu\nram_hits %llu\nssd_hits %llu\nmisses %llu\nexpired %llu\n"
-      "flushes %llu\nflushed_bytes %llu\npromotions %llu\n"
-      "dropped_evictions %llu\nssd_live_bytes %llu\n"
-      "io_errors %llu\ndegraded %d\n"
-      "slab_pages %zu\nslab_reserved_bytes %zu\nslab_used_chunks %zu\n",
-      static_cast<unsigned long long>(c.requests),
-      static_cast<unsigned long long>(c.sets),
-      static_cast<unsigned long long>(c.gets),
-      static_cast<unsigned long long>(c.deletes),
-      static_cast<unsigned long long>(c.malformed), manager_.item_count(),
-      static_cast<unsigned long long>(store.ram_hits),
-      static_cast<unsigned long long>(store.ssd_hits),
-      static_cast<unsigned long long>(store.misses),
-      static_cast<unsigned long long>(store.expired),
-      static_cast<unsigned long long>(store.flushes),
-      static_cast<unsigned long long>(store.flushed_bytes),
-      static_cast<unsigned long long>(store.promotions),
-      static_cast<unsigned long long>(store.dropped_evictions),
-      static_cast<unsigned long long>(store.ssd_live_bytes),
-      static_cast<unsigned long long>(store.io_errors),
-      store.degraded ? 1 : 0, slab.slab_pages,
-      slab.reserved_bytes, slab.used_chunks);
-  return {buf, buf + (len > 0 ? len : 0)};
+  const std::string text =
+      render_stats_text(counters(), manager_.stats(), manager_.slab_stats(),
+                        manager_.item_count(), manager_.num_shards());
+  return {text.begin(), text.end()};
 }
 
 StageBreakdown MemcachedServer::breakdown() const {
-  const std::scoped_lock lock(metrics_mu_);
-  return stages_;
+  StageBreakdown merged;
+  for (const auto& slot : metrics_) {
+    for (std::size_t i = 0; i < kStageCount; ++i) {
+      merged.add(static_cast<Stage>(i),
+                 std::chrono::nanoseconds(static_cast<std::int64_t>(
+                     slot.stage_ns[i].load(kRelaxed))));
+    }
+    merged.add_ops(slot.stage_ops.load(kRelaxed));
+  }
+  return merged;
 }
 
 ServerCounters MemcachedServer::counters() const {
-  const std::scoped_lock lock(metrics_mu_);
-  return counters_;
+  ServerCounters c;
+  for (const auto& slot : metrics_) {
+    c.requests += slot.requests.load(kRelaxed);
+    c.sets += slot.sets.load(kRelaxed);
+    c.gets += slot.gets.load(kRelaxed);
+    c.deletes += slot.deletes.load(kRelaxed);
+    c.touches += slot.touches.load(kRelaxed);
+    c.admin += slot.admin.load(kRelaxed);
+    c.malformed += slot.malformed.load(kRelaxed);
+  }
+  return c;
 }
 
 void MemcachedServer::reset_metrics() {
-  const std::scoped_lock lock(metrics_mu_);
-  stages_.reset();
-  counters_ = ServerCounters{};
+  for (auto& slot : metrics_) {
+    for (auto& ns : slot.stage_ns) ns.store(0, kRelaxed);
+    slot.stage_ops.store(0, kRelaxed);
+    slot.requests.store(0, kRelaxed);
+    slot.sets.store(0, kRelaxed);
+    slot.gets.store(0, kRelaxed);
+    slot.deletes.store(0, kRelaxed);
+    slot.touches.store(0, kRelaxed);
+    slot.admin.store(0, kRelaxed);
+    slot.malformed.store(0, kRelaxed);
+  }
 }
 
 }  // namespace hykv::server

@@ -16,10 +16,19 @@
 //     full the receive loop stalls -- the backpressure that bounds how far a
 //     bursty non-blocking client can run ahead of a busy server.
 //
+// The storage tier behind the workers is sharded (store::ShardedManager):
+// requests for different key partitions never share a store lock, so
+// processing_threads > 1 actually overlaps hybrid-memory work. The request
+// hot path itself is metric-lock-free: every handler thread owns a metrics
+// slot of relaxed atomics (counters + stage nanos) merged on demand by
+// counters()/breakdown(), instead of taking a global metrics mutex several
+// times per request.
+//
 // Per-stage wall time is attributed to the paper's stage taxonomy and can be
 // harvested with breakdown() for Fig. 2 / Fig. 6.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <memory>
 #include <string>
@@ -30,7 +39,7 @@
 #include "common/stage.hpp"
 #include "net/fabric.hpp"
 #include "ssd/io_engine.hpp"
-#include "store/hybrid_manager.hpp"
+#include "store/sharded_manager.hpp"
 
 namespace hykv::server {
 
@@ -42,13 +51,33 @@ struct ServerConfig {
   std::size_t request_buffer_slots = 16;///< Async mode buffered-request bound.
 };
 
+/// Per-op request counters. Every well-formed request bumps exactly one of
+/// sets/gets/deletes/touches/admin; a malformed or unknown one bumps
+/// malformed -- so `requests == ops_sum()` always balances (asserted by the
+/// chaos suite).
 struct ServerCounters {
   std::uint64_t requests = 0;
-  std::uint64_t sets = 0;
-  std::uint64_t gets = 0;
+  std::uint64_t sets = 0;     ///< set/add/replace/append/prepend/incr/decr/cas.
+  std::uint64_t gets = 0;     ///< get/gets.
   std::uint64_t deletes = 0;
+  std::uint64_t touches = 0;
+  std::uint64_t admin = 0;    ///< flush_all + stats.
   std::uint64_t malformed = 0;
+
+  [[nodiscard]] std::uint64_t ops_sum() const noexcept {
+    return sets + gets + deletes + touches + admin + malformed;
+  }
 };
+
+/// memcached "stats" text ("name value\n" lines). Free function so the
+/// renderer is testable with arbitrary (e.g. maximal) counter values; built
+/// on std::string, which cannot truncate or overread the way a fixed
+/// snprintf buffer can.
+[[nodiscard]] std::string render_stats_text(const ServerCounters& counters,
+                                            const store::ManagerStats& store,
+                                            const store::SlabStats& slab,
+                                            std::size_t item_count,
+                                            unsigned shards);
 
 class MemcachedServer {
  public:
@@ -68,33 +97,46 @@ class MemcachedServer {
   [[nodiscard]] const std::string& name() const noexcept { return config_.name; }
 
   /// Merged per-stage server-side time (SlabAllocation, CacheCheck+Load,
-  /// CacheUpdate, ServerResponse).
+  /// CacheUpdate, ServerResponse), summed over every handler thread.
   [[nodiscard]] StageBreakdown breakdown() const;
   [[nodiscard]] ServerCounters counters() const;
   [[nodiscard]] store::ManagerStats store_stats() const { return manager_.stats(); }
-  [[nodiscard]] store::HybridSlabManager& manager() noexcept { return manager_; }
+  [[nodiscard]] store::ShardedManager& manager() noexcept { return manager_; }
 
   void reset_metrics();
 
  private:
+  /// One handler thread's metrics slot. The owning thread writes with
+  /// relaxed atomics (uncontended -- one writer per slot); readers merge all
+  /// slots on demand. Cache-line aligned so workers never false-share.
+  struct alignas(64) WorkerMetrics {
+    std::array<std::atomic<std::uint64_t>, kStageCount> stage_ns{};
+    std::atomic<std::uint64_t> stage_ops{0};
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> sets{0};
+    std::atomic<std::uint64_t> gets{0};
+    std::atomic<std::uint64_t> deletes{0};
+    std::atomic<std::uint64_t> touches{0};
+    std::atomic<std::uint64_t> admin{0};
+    std::atomic<std::uint64_t> malformed{0};
+  };
+
   void network_main();
   void worker_main(std::size_t worker_index);
-  void handle(const net::Message& request, StageBreakdown& stages);
-  /// memcached "stats": human-readable "name value" lines.
+  void handle(const net::Message& request, WorkerMetrics& metrics);
   [[nodiscard]] std::vector<char> render_stats() const;
 
   net::Fabric& fabric_;
   ServerConfig config_;
   std::shared_ptr<net::Endpoint> endpoint_;
-  store::HybridSlabManager manager_;
+  store::ShardedManager manager_;
 
   BlockingQueue<net::Message> buffered_;  ///< Async mode slot pool.
   std::vector<std::thread> threads_;
   std::atomic<bool> running_{false};
 
-  mutable std::mutex metrics_mu_;
-  StageBreakdown stages_;
-  ServerCounters counters_;
+  /// Slot 0: network thread (sync mode); slots 1..N: processing workers.
+  std::vector<WorkerMetrics> metrics_;
 };
 
 }  // namespace hykv::server

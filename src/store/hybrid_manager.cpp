@@ -278,6 +278,9 @@ StatusCode HybridSlabManager::set(std::string_view key,
       expiration == 0 ? 0 : steady_seconds() + expiration;
 
   std::unique_lock lock(mu_);
+  if (config_.modelled_op_cost.count() > 0) {
+    sim::advance_coarse(config_.modelled_op_cost);  // modelled under-lock CPU work
+  }
 
   // Fast path: overwrite in place when the existing RAM item lives in the
   // same slab class and the key matches -- the common hot-key update. No
@@ -351,6 +354,9 @@ StatusCode HybridSlabManager::get(std::string_view key, std::vector<char>& out,
                                   std::uint32_t& flags,
                                   StageBreakdown* stages) {
   std::unique_lock lock(mu_);
+  if (config_.modelled_op_cost.count() > 0) {
+    sim::advance_coarse(config_.modelled_op_cost);  // modelled under-lock CPU work
+  }
   const auto check_start = SteadyClock::now();
   auto charge_check = [&] {
     if (stages != nullptr) {
@@ -742,7 +748,9 @@ std::size_t HybridSlabManager::item_count() const {
 
 ManagerStats HybridSlabManager::stats() const {
   const std::scoped_lock lock(mu_);
-  return stats_;
+  ManagerStats out = stats_;
+  out.degraded_shards = stats_.degraded ? 1 : 0;
+  return out;
 }
 
 SlabStats HybridSlabManager::slab_stats() const {

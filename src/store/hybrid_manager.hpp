@@ -72,6 +72,21 @@ struct ManagerConfig {
   /// While degraded, one flush is re-attempted (half-open probe) after this
   /// much real time; success leaves degraded mode.
   sim::Nanos heal_probe_after = sim::ms(50);
+  /// Shard count for ShardedManager (always a power of two). 0 = auto:
+  /// ~2x hardware threads, capped so every shard keeps at least a few slab
+  /// pages of arena. Ignored by a bare HybridSlabManager, which is always
+  /// one shard.
+  unsigned shards = 0;
+  /// Modelled per-operation CPU cost realised *while holding the store
+  /// lock* (set/get only). Production servers spend ~a microsecond of CPU
+  /// under the lock per op; on few-core build hosts that serialisation is
+  /// invisible because one core serialises everything anyway. Benches set
+  /// this so shard-scaling behaviour reproduces on any host, exactly like
+  /// the fabric/SSD latency models. Realised with advance_coarse (pure
+  /// sleep): holders of different shard locks overlap even on one core,
+  /// holders of the same lock serialise -- the contention being modelled.
+  /// 0 (default) = off; no behaviour change.
+  sim::Nanos modelled_op_cost{0};
 };
 
 struct ManagerStats {
@@ -90,6 +105,28 @@ struct ManagerStats {
   std::uint64_t checksum_failures = 0;
   std::uint64_t io_errors = 0;        ///< SSD accesses that failed (kIoError).
   bool degraded = false;              ///< RAM-only mode (SSD deemed unhealthy).
+  std::uint32_t degraded_shards = 0;  ///< Shards currently degraded (<= shard count).
+
+  /// Accumulates `other` into this (counter sums; degraded ORs). Used by the
+  /// sharded facade and the testbed to aggregate per-shard / per-server stats.
+  void merge_from(const ManagerStats& other) noexcept {
+    sets += other.sets;
+    ram_hits += other.ram_hits;
+    ssd_hits += other.ssd_hits;
+    misses += other.misses;
+    expired += other.expired;
+    deletes += other.deletes;
+    flushes += other.flushes;
+    flushed_items += other.flushed_items;
+    flushed_bytes += other.flushed_bytes;
+    promotions += other.promotions;
+    dropped_evictions += other.dropped_evictions;
+    ssd_live_bytes += other.ssd_live_bytes;
+    checksum_failures += other.checksum_failures;
+    io_errors += other.io_errors;
+    degraded = degraded || other.degraded;
+    degraded_shards += other.degraded_shards;
+  }
 };
 
 class HybridSlabManager {

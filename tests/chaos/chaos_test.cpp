@@ -55,6 +55,16 @@ bool terminal_under_chaos(StatusCode code) {
   }
 }
 
+/// Server-side balance invariant: every request a server accepted bumped
+/// exactly one op-class counter, faults or not (duplicated/replayed messages
+/// are requests too, so this holds on a lossy fabric).
+void expect_server_counters_balance(TestBed& bed) {
+  for (std::size_t s = 0; s < bed.num_servers(); ++s) {
+    const auto counters = bed.server(s).counters();
+    EXPECT_EQ(counters.requests, counters.ops_sum()) << "server " << s;
+  }
+}
+
 /// Runs a mixed 40% set / 50% get / 10% del workload and returns the status
 /// histogram. Every op is blocking, so merely returning proves termination.
 std::map<StatusCode, int> run_mixed_ops(client::Client& client,
@@ -139,6 +149,7 @@ TEST_F(ChaosTest, LossyFabricAllRequestsTerminate) {
             static_cast<std::uint64_t>(kOps));
   // Each drop of a request or response costs one cancelled attempt.
   EXPECT_GT(counters.timeouts + counters.retries, 0u);
+  expect_server_counters_balance(bed);
 }
 
 // ---------------------------------------------------------------------------
@@ -202,6 +213,7 @@ TEST_F(ChaosTest, ServerDownWindowEjectsAndReadmits) {
   EXPECT_EQ(client->set(victim_key, value), StatusCode::kOk);
   EXPECT_EQ(client->pending_requests(), 0u);
   EXPECT_EQ(client->free_bounce_slots(), cfg.client_bounce_slots);
+  expect_server_counters_balance(bed);
 }
 
 // ---------------------------------------------------------------------------
@@ -324,6 +336,58 @@ TEST_F(ChaosTest, FullStackChaosEveryRequestCompletes) {
             static_cast<std::uint64_t>(total));
   const auto store = bed.store_stats();
   EXPECT_GT(store.flushes, 0u);  // the working set really overflowed
+  expect_server_counters_balance(bed);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded store under fire: the same full-stack chaos profile on servers
+// running 4 store shards each. Shards degrade and heal independently, so the
+// invariants are the aggregate ones: every request terminates, counters
+// balance, and no shard wedges the others.
+TEST_F(ChaosTest, ShardedStoreSurvivesFullStackChaos) {
+  TestBedConfig cfg;
+  cfg.design = Design::kHRdmaOptNonbI;
+  cfg.num_servers = 2;
+  cfg.shards = 4;
+  cfg.processing_threads = 2;
+  cfg.total_server_memory = 4 << 20;  // 2 MiB/server over 4 shards
+  cfg.slab_bytes = 64 << 10;
+  cfg.fabric_faults.drop_rate = 0.01;
+  cfg.fabric_faults.seed = 7;
+  cfg.ssd_faults.error_rate = 0.01;
+  cfg.ssd_faults.seed = 7;
+  cfg.degrade_after_io_errors = 2;
+  cfg.heal_probe_after = sim::ms(20);
+  cfg.client_op_deadline = sim::ms(150);
+  cfg.client_max_retries = 2;
+  TestBed bed(cfg);
+  for (std::size_t s = 0; s < bed.num_servers(); ++s) {
+    ASSERT_EQ(bed.server(s).manager().num_shards(), 4u);
+  }
+  auto client = bed.make_client("chaos");
+
+  const int kOps = 400;
+  const auto statuses = run_mixed_ops(*client, kOps, 256, 4 << 10, 21);
+
+  int total = 0;
+  for (const auto& [code, count] : statuses) {
+    EXPECT_TRUE(terminal_under_chaos(code))
+        << "unexpected status " << to_string(code);
+    total += count;
+  }
+  EXPECT_EQ(total, kOps);
+  EXPECT_EQ(client->pending_requests(), 0u);
+  EXPECT_EQ(client->free_bounce_slots(), cfg.client_bounce_slots);
+  expect_server_counters_balance(bed);
+
+  // The sharded hybrid tier did real work, and any degradation stayed
+  // partial or healed -- never more degraded shards than exist.
+  const auto store = bed.store_stats();
+  EXPECT_GT(store.sets, 0u);
+  EXPECT_LE(store.degraded_shards, 2u * 4u);
+  if (store.degraded) {
+    EXPECT_GT(store.degraded_shards, 0u);
+  }
 }
 
 }  // namespace

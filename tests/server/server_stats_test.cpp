@@ -1,0 +1,209 @@
+// Server metrics: the stats-text renderer (regression for the old fixed
+// snprintf buffer, which could truncate/overread once counters grew wide),
+// the touch op counter, and the requests == ops_sum() balance invariant of
+// the de-serialized per-worker counter slots.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "client/client.hpp"
+#include "common/random.hpp"
+#include "common/sim_time.hpp"
+#include "core/testbed.hpp"
+#include "server/server.hpp"
+
+namespace hykv {
+namespace {
+
+using core::Design;
+using core::TestBed;
+using core::TestBedConfig;
+
+// ---------------------------------------------------------------------------
+// Renderer unit tests (no server needed: render_stats_text is a free
+// function precisely so it can be fed adversarial counter values).
+
+server::ServerCounters maximal_counters() {
+  constexpr auto kMax = std::numeric_limits<std::uint64_t>::max();
+  server::ServerCounters c;
+  c.requests = kMax;
+  c.sets = kMax;
+  c.gets = kMax;
+  c.deletes = kMax;
+  c.touches = kMax;
+  c.admin = kMax;
+  c.malformed = kMax;
+  return c;
+}
+
+store::ManagerStats maximal_store_stats() {
+  constexpr auto kMax = std::numeric_limits<std::uint64_t>::max();
+  store::ManagerStats s;
+  s.sets = kMax;
+  s.ram_hits = kMax;
+  s.ssd_hits = kMax;
+  s.misses = kMax;
+  s.expired = kMax;
+  s.flushes = kMax;
+  s.flushed_bytes = kMax;
+  s.promotions = kMax;
+  s.dropped_evictions = kMax;
+  s.ssd_live_bytes = kMax;
+  s.io_errors = kMax;
+  s.degraded = true;
+  s.degraded_shards = std::numeric_limits<std::uint32_t>::max();
+  return s;
+}
+
+TEST(RenderStatsTest, MaximalCountersRenderCompletelyAndWellFormed) {
+  store::SlabStats slab;
+  slab.slab_pages = std::numeric_limits<std::size_t>::max();
+  slab.reserved_bytes = std::numeric_limits<std::size_t>::max();
+  slab.used_chunks = std::numeric_limits<std::size_t>::max();
+
+  const std::string text = server::render_stats_text(
+      maximal_counters(), maximal_store_stats(), slab,
+      std::numeric_limits<std::size_t>::max(), 256);
+
+  // The old fixed-size buffer truncated exactly this case; the renderer
+  // must now emit every line in full, terminated, with no embedded NULs.
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  EXPECT_EQ(text.find('\0'), std::string::npos);
+
+  const std::string max64 = std::to_string(std::numeric_limits<std::uint64_t>::max());
+  for (const char* name :
+       {"requests", "sets", "gets", "deletes", "touches", "admin", "malformed",
+        "items", "ram_hits", "ssd_hits", "misses", "expired", "flushes",
+        "flushed_bytes", "promotions", "dropped_evictions", "ssd_live_bytes",
+        "io_errors", "degraded", "degraded_shards", "shards", "slab_pages",
+        "slab_reserved_bytes", "slab_used_chunks"}) {
+    EXPECT_NE(text.find(std::string(name) + " "), std::string::npos) << name;
+  }
+  EXPECT_NE(text.find("requests " + max64 + "\n"), std::string::npos);
+  EXPECT_NE(text.find("slab_used_chunks " + max64 + "\n"), std::string::npos);
+  EXPECT_NE(text.find("degraded 1\n"), std::string::npos);
+  EXPECT_NE(text.find("shards 256\n"), std::string::npos);
+
+  // Every line parses as "<name> <uint>\n" -- nothing truncated mid-line.
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    const auto space = line.find(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_GT(space, 0u) << line;
+    const std::string value = line.substr(space + 1);
+    ASSERT_FALSE(value.empty()) << line;
+    EXPECT_EQ(value.find_first_not_of("0123456789"), std::string::npos) << line;
+    ++count;
+  }
+  EXPECT_EQ(count, 24u);
+}
+
+TEST(RenderStatsTest, ZeroCountersRenderAllLines) {
+  const std::string text = server::render_stats_text(
+      server::ServerCounters{}, store::ManagerStats{}, store::SlabStats{}, 0, 1);
+  EXPECT_NE(text.find("requests 0\n"), std::string::npos);
+  EXPECT_NE(text.find("degraded 0\n"), std::string::npos);
+  EXPECT_NE(text.find("shards 1\n"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(ServerCountersTest, OpsSumBalancesAcrossAllClasses) {
+  server::ServerCounters c;
+  c.sets = 3;
+  c.gets = 5;
+  c.deletes = 2;
+  c.touches = 7;
+  c.admin = 1;
+  c.malformed = 4;
+  EXPECT_EQ(c.ops_sum(), 22u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: the touch opcode lands in its own counter (it used to be
+// dropped entirely, unbalancing requests vs per-op sums) and every op class
+// keeps requests == ops_sum().
+
+class ServerStatsE2eTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim::init_precise_timing();
+    sim::set_time_scale(0.02);
+  }
+  void TearDown() override { sim::set_time_scale(1.0); }
+};
+
+TEST_F(ServerStatsE2eTest, TouchIsCountedAndCountersBalance) {
+  TestBedConfig cfg;
+  cfg.design = Design::kRdmaMem;
+  cfg.total_server_memory = 8 << 20;
+  TestBed bed(cfg);
+  auto client = bed.make_client("c");
+
+  const std::string value = "v";
+  ASSERT_EQ(client->set("k", {value.data(), value.size()}, 0, 3600),
+            StatusCode::kOk);
+  ASSERT_EQ(client->touch("k", 60), StatusCode::kOk);
+  ASSERT_EQ(client->touch("gone", 60), StatusCode::kNotFound);
+  std::vector<char> out;
+  ASSERT_EQ(client->get("k", out), StatusCode::kOk);
+  ASSERT_EQ(client->del("k"), StatusCode::kOk);
+  ASSERT_EQ(client->flush_all(), StatusCode::kOk);
+
+  const auto counters = bed.server(0).counters();
+  EXPECT_EQ(counters.touches, 2u);  // hit and miss both count as a touch
+  EXPECT_EQ(counters.sets, 1u);
+  EXPECT_EQ(counters.gets, 1u);
+  EXPECT_EQ(counters.deletes, 1u);
+  EXPECT_EQ(counters.admin, 1u);
+  EXPECT_EQ(counters.malformed, 0u);
+  EXPECT_EQ(counters.requests, 6u);
+  EXPECT_EQ(counters.requests, counters.ops_sum());
+
+  // The stats text the wire serves reflects the same counters.
+  const auto stats = client->stats_text(0);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats.value().find("touches 2"), std::string::npos) << stats.value();
+
+  // reset_metrics zeroes every slot.
+  bed.reset_metrics();
+  const auto zeroed = bed.server(0).counters();
+  EXPECT_EQ(zeroed.requests, 0u);
+  EXPECT_EQ(zeroed.ops_sum(), 0u);
+}
+
+TEST_F(ServerStatsE2eTest, AsyncWorkersBalanceAcrossMetricSlots) {
+  // Async design: the per-op counters live in per-worker slots; the merged
+  // view must still balance after traffic fanned out over the workers.
+  TestBedConfig cfg;
+  cfg.design = Design::kHRdmaOptNonbI;
+  cfg.total_server_memory = 8 << 20;
+  cfg.processing_threads = 2;
+  TestBed bed(cfg);
+  auto client = bed.make_client("c");
+
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    ASSERT_EQ(client->set(make_key(i), make_value(i, 512)), StatusCode::kOk);
+  }
+  std::vector<char> out;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    ASSERT_EQ(client->get(make_key(i), out), StatusCode::kOk);
+  }
+  ASSERT_EQ(client->touch(make_key(0), 60), StatusCode::kOk);
+
+  const auto counters = bed.server(0).counters();
+  EXPECT_EQ(counters.sets, 64u);
+  EXPECT_EQ(counters.gets, 64u);
+  EXPECT_EQ(counters.touches, 1u);
+  EXPECT_EQ(counters.requests, 129u);
+  EXPECT_EQ(counters.requests, counters.ops_sum());
+}
+
+}  // namespace
+}  // namespace hykv
