@@ -18,7 +18,8 @@ Client::Client(net::Fabric& fabric, ClientConfig config, BackendDb* backend)
       backend_(backend),
       endpoint_(fabric_.create_endpoint(config_.name)),
       ring_(config_.servers, 160, config_.failover),
-      scratch_(config_.bounce_slot_bytes) {
+      retry_tokens_(config_.retry_budget) {
+  scratch_.resize(config_.bounce_slot_bytes);
   assert(!config_.use_backend_on_miss || backend_ != nullptr);
   // Pre-register the bounce pool: the cold ibv_reg_mr cost is paid once at
   // startup, which is exactly why bset can afford buffer-reuse semantics.
@@ -51,6 +52,7 @@ void Client::complete_all_pending(StatusCode status) {
   {
     const std::scoped_lock lock(pending_mu_);
     orphans.swap(pending_);
+    pending_per_server_.clear();  // every window occupant is being orphaned
   }
   for (auto& [wr_id, pend] : orphans) {
     if (pend.slot >= 0) free_slots_.push(pend.slot);
@@ -120,6 +122,11 @@ void Client::tx_main() {
       default:
         break;
     }
+    if (job->deadline_ns != 0) {
+      // Deadline propagation: the server strips this header at receipt and
+      // sheds the request with kBusy if the deadline already passed.
+      payload = server::with_deadline(job->deadline_ns, payload);
+    }
     endpoint_->send(job->server, job->opcode, job->wr_id, payload);
     HYKV_DEBUG("client %llu tx wr=%llu op=%u to=%llu n=%zu",
                static_cast<unsigned long long>(endpoint_->id()),
@@ -152,6 +159,7 @@ void Client::rx_main() {
       pend = it->second;
       pending_.erase(it);
     }
+    release_pending_window(pend.server);
 
     StatusCode status = resp.has_value() ? resp->status : StatusCode::kServerError;
     std::uint32_t flags = resp.has_value() ? resp->flags : 0;
@@ -175,8 +183,13 @@ void Client::rx_main() {
       }
     }
     if (pend.slot >= 0) free_slots_.push(pend.slot);
+    if (status == StatusCode::kBusy || config_.retry_budget != 0) {
+      // Gated so the default happy path never takes metrics_mu_ here.
+      note_response(status);
+    }
     // Any response proves the server is alive: clear its failure streak
-    // (and readmit it if a probe just succeeded).
+    // (and readmit it if a probe just succeeded). A kBusy response counts
+    // too -- a busy server is alive, not dead.
     ring_.record_success(pend.server);
     HYKV_DEBUG("client %llu rx wr=%llu status=%u",
                static_cast<unsigned long long>(endpoint_->id()),
@@ -221,21 +234,49 @@ StatusCode Client::issue(TxJob job, Request& req, int slot, bool is_get,
     return StatusCode::kServerDown;
   }
   std::uint64_t wr_id = 0;
+  bool window_full = false;
   {
     const std::scoped_lock lock(pending_mu_);
     if (closed_) return StatusCode::kShutdown;
-    wr_id = wr_id_seq_++;
-    pending_.emplace(wr_id, Pending{.req = &req,
-                                    .slot = slot,
-                                    .is_get = is_get,
-                                    .server = job.server});
+    if (config_.max_pending_per_server > 0) {
+      std::size_t& inflight = pending_per_server_[job.server];
+      if (inflight >= config_.max_pending_per_server) {
+        window_full = true;
+      } else {
+        ++inflight;
+      }
+    }
+    if (!window_full) {
+      wr_id = wr_id_seq_++;
+      pending_.emplace(wr_id, Pending{.req = &req,
+                                      .slot = slot,
+                                      .is_get = is_get,
+                                      .server = job.server});
+    }
+  }
+  if (window_full) {
+    // Fail fast at the source: the caller learns immediately that this
+    // server's window is saturated instead of queueing yet more work.
+    const std::scoped_lock lock(metrics_mu_);
+    ++counters_.busy_fail_fast;
+    return StatusCode::kBusy;
+  }
+  if (config_.propagate_deadline && config_.op_deadline.count() > 0) {
+    job.deadline_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          (std::chrono::steady_clock::now() +
+                           config_.op_deadline).time_since_epoch())
+                          .count();
   }
   job.wr_id = wr_id;
   req.wr_id_ = wr_id;
   job.req = &req;
+  const net::EndpointId server = job.server;
   if (!tx_queue_.push(std::move(job))) {
-    const std::scoped_lock lock(pending_mu_);
-    pending_.erase(wr_id);
+    {
+      const std::scoped_lock lock(pending_mu_);
+      pending_.erase(wr_id);
+    }
+    release_pending_window(server);
     return StatusCode::kShutdown;
   }
   return StatusCode::kOk;
@@ -351,14 +392,19 @@ StatusCode Client::run_attempts(
 
   for (unsigned attempt = 0; attempt < attempts_max; ++attempt) {
     if (attempt > 0) {
+      // Every retry spends a shared token (config_.retry_budget); when the
+      // bucket runs dry the last status stands -- under saturation the
+      // client converges instead of amplifying load into a retry storm.
+      if (!try_spend_retry_token()) break;
       const std::scoped_lock lock(metrics_mu_);
       ++counters_.retries;
     }
     const StatusCode issued = issue_attempt(req);
     last_server = req.server_;
-    if (issued == StatusCode::kServerDown) {
-      // Refused before posting (target ejected); a retry re-selects and may
-      // fail over to a live server.
+    if (issued == StatusCode::kServerDown || issued == StatusCode::kBusy) {
+      // kServerDown: refused before posting (target ejected); a retry
+      // re-selects and may fail over. kBusy: refused by the local fail-fast
+      // window; backing off and retrying is exactly the right response.
       last = issued;
     } else if (!ok(issued)) {
       return issued;  // kShutdown / kInvalidArgument: not retryable
@@ -375,7 +421,8 @@ StatusCode Client::run_attempts(
       // first attempt cannot starve the retries of wait time.
       const auto slice = (overall - now) / (attempts_max - attempt);
       last = wait_for(req, std::chrono::duration_cast<sim::Nanos>(slice));
-      if (last != StatusCode::kTimedOut && last != StatusCode::kServerDown) {
+      if (last != StatusCode::kTimedOut && last != StatusCode::kServerDown &&
+          last != StatusCode::kBusy) {
         return last;
       }
     }
@@ -706,6 +753,7 @@ StatusCode Client::cancel(Request& req) {
     }
   }
   if (removed) {
+    release_pending_window(server);
     // A true cancellation is a strike against the target server: enough
     // consecutive ones eject it from the ring (failover).
     ring_.record_failure(server);
@@ -747,10 +795,43 @@ ClientCounters Client::counters() const {
   return counters_;
 }
 
+bool Client::try_spend_retry_token() {
+  if (config_.retry_budget == 0) return true;  // unlimited
+  const std::scoped_lock lock(metrics_mu_);
+  if (retry_tokens_ == 0) {
+    ++counters_.retry_budget_exhausted;
+    return false;
+  }
+  --retry_tokens_;
+  return true;
+}
+
+void Client::note_response(StatusCode status) {
+  const std::scoped_lock lock(metrics_mu_);
+  if (status == StatusCode::kBusy) {
+    ++counters_.busy;
+    return;
+  }
+  // A completed (non-busy) round trip refunds one retry token, capped at the
+  // configured budget: a healthy cluster keeps its full retry allowance.
+  if (config_.retry_budget != 0 && retry_tokens_ < config_.retry_budget) {
+    ++retry_tokens_;
+  }
+}
+
+void Client::release_pending_window(net::EndpointId server) {
+  if (config_.max_pending_per_server == 0) return;
+  const std::scoped_lock lock(pending_mu_);
+  auto it = pending_per_server_.find(server);
+  if (it == pending_per_server_.end()) return;
+  if (--it->second == 0) pending_per_server_.erase(it);
+}
+
 void Client::reset_metrics() {
   const std::scoped_lock lock(metrics_mu_);
   stages_.reset();
   counters_ = ClientCounters{};
+  retry_tokens_ = config_.retry_budget;
 }
 
 }  // namespace hykv::client

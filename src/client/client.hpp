@@ -69,6 +69,25 @@ struct ClientConfig {
   sim::Nanos retry_backoff_max{sim::ms(8)};
   /// Server ejection/readmission thresholds for the ring dead-set.
   FailoverPolicy failover{};
+
+  // ---- Overload control (DESIGN.md §8; all default-off, keeping the happy
+  //      path byte-for-byte the pre-overload behaviour) ----
+  /// Shared retry-token budget across every operation of this client
+  /// (0 = unlimited). Each retry spends a token; each successful round trip
+  /// refunds one (capped at the budget), so a healthy cluster retries freely
+  /// while a saturated one converges instead of amplifying into a retry
+  /// storm. When the bucket is dry a would-be retry is skipped and the last
+  /// status stands.
+  std::uint64_t retry_budget = 0;
+  /// Fail-fast window for the non-blocking issue path (0 = off): when this
+  /// many requests are already in flight to the target server, iset/iget/
+  /// bset/bget return kBusy at issue instead of queueing more work -- an
+  /// iset storm is bounded at the source.
+  std::size_t max_pending_per_server = 0;
+  /// Attach the op deadline to outgoing requests (protocol deadline header)
+  /// so servers can drop expired-on-arrival work instead of executing it.
+  /// Requires op_deadline > 0 to have any effect.
+  bool propagate_deadline = false;
 };
 
 struct ClientCounters {
@@ -82,6 +101,9 @@ struct ClientCounters {
   std::uint64_t timeouts = 0;       ///< Requests cancelled on deadline.
   std::uint64_t retries = 0;        ///< Re-issued idempotent attempts.
   std::uint64_t server_down = 0;    ///< Issues refused: target ejected.
+  std::uint64_t busy = 0;           ///< kBusy responses (server shed/expired).
+  std::uint64_t busy_fail_fast = 0; ///< Issues refused: local window full.
+  std::uint64_t retry_budget_exhausted = 0;  ///< Retries skipped: no tokens.
 };
 
 class Client {
@@ -214,6 +236,7 @@ class Client {
     std::uint32_t flags = 0;
     std::int64_t expiration = 0;
     std::uint64_t cas_token = 0;
+    std::int64_t deadline_ns = 0;  ///< Propagated deadline (0 = none).
     Request* req = nullptr;
   };
 
@@ -255,6 +278,15 @@ class Client {
       Request& req, const std::function<StatusCode(Request&)>& issue_attempt,
       bool idempotent);
   void complete_all_pending(StatusCode status);
+  /// Spends one retry token; false (and counts) when the bucket is dry.
+  /// Always true with retry_budget == 0 (unlimited).
+  bool try_spend_retry_token();
+  /// Counts a response toward the overload counters and refunds a retry
+  /// token on a successful (non-busy) round trip.
+  void note_response(StatusCode status);
+  /// Drops the per-server in-flight count for an unregistered request.
+  /// Call after erasing its pending-map entry (no-op when the window is off).
+  void release_pending_window(net::EndpointId server);
   std::uint64_t next_wr_id() { return wr_id_seq_++; }
 
   net::Fabric& fabric_;
@@ -279,12 +311,18 @@ class Client {
 
   mutable std::mutex pending_mu_;
   std::unordered_map<std::uint64_t, Pending> pending_;
+  /// In-flight requests per server; maintained only when
+  /// max_pending_per_server > 0 (guarded by pending_mu_).
+  std::unordered_map<net::EndpointId, std::size_t> pending_per_server_;
   std::uint64_t wr_id_seq_ = 1;
   bool closed_ = false;
 
   mutable std::mutex metrics_mu_;
   StageBreakdown stages_;
   ClientCounters counters_;
+  /// Retry-token bucket (guarded by metrics_mu_); starts full at
+  /// config_.retry_budget and is refunded by successful round trips.
+  std::uint64_t retry_tokens_ = 0;
 
   std::vector<char> scratch_;  ///< Blocking-get destination buffer.
 };

@@ -36,7 +36,10 @@ class Request {
     return done_.load(std::memory_order_acquire);
   }
 
-  /// Final status; kInProgress until done().
+  /// Final status; kInProgress until done(). kBusy is terminal: the server
+  /// (or the client's own fail-fast window) refused the request before
+  /// executing it, so it had no side effects and may be re-issued -- even a
+  /// non-idempotent one.
   [[nodiscard]] StatusCode status() const noexcept {
     return done() ? status_ : StatusCode::kInProgress;
   }

@@ -71,6 +71,9 @@ class ServerRing {
 
   /// Records a failed operation against `server` (timeout / transport
   /// error). Ejects it after policy.eject_after consecutive failures.
+  /// A kBusy response must NEVER be recorded here: an overloaded server is
+  /// alive (it answered!), and ejecting it would dogpile its keys onto the
+  /// ring neighbours -- spreading the overload instead of containing it.
   void record_failure(net::EndpointId server) {
     const std::scoped_lock lock(mu_);
     auto it = health_.find(server);

@@ -31,6 +31,9 @@ enum class StatusCode : std::uint8_t {
   kShutdown,        ///< Component is shutting down; request not serviced.
   kServerDown,      ///< Target server is ejected from the ring (failover).
   kIoError,         ///< Storage device I/O failure (transient or outage).
+  kBusy,            ///< Overloaded: request shed before execution (no side
+                    ///< effects server-side, so even non-idempotent ops are
+                    ///< safe to retry). A busy server is alive, not dead.
 };
 
 /// Human-readable name for logging and test diagnostics.
@@ -49,6 +52,7 @@ constexpr std::string_view to_string(StatusCode code) noexcept {
     case StatusCode::kShutdown: return "SHUTDOWN";
     case StatusCode::kServerDown: return "SERVER_DOWN";
     case StatusCode::kIoError: return "IO_ERROR";
+    case StatusCode::kBusy: return "BUSY";
   }
   return "UNKNOWN";
 }

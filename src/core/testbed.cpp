@@ -48,6 +48,8 @@ TestBed::TestBed(TestBedConfig config)
     server_config.async_processing = async_server(config_.design);
     server_config.processing_threads = config_.processing_threads;
     server_config.request_buffer_slots = config_.server_buffer_slots;
+    server_config.max_inflight = config_.server_max_inflight;
+    server_config.admission_queue_limit = config_.server_admission_queue_limit;
     server_config.manager.mode = is_hybrid(config_.design)
                                      ? store::StorageMode::kHybrid
                                      : store::StorageMode::kInMemory;
@@ -58,6 +60,7 @@ TestBed::TestBed(TestBedConfig config)
     // (Ouyang'12 semantics); the optimised designs promote opportunistically.
     server_config.manager.force_promote = config_.design == Design::kHRdmaDef;
     server_config.manager.shards = config_.shards;
+    server_config.manager.modelled_op_cost = config_.store_op_cost;
     server_config.manager.ssd_limit = per_server_ssd;
     server_config.manager.slab.slab_bytes = config_.slab_bytes;
     server_config.manager.slab.memory_limit = per_server_memory;
@@ -87,6 +90,9 @@ std::unique_ptr<client::Client> TestBed::make_client(std::string name) {
   cfg.op_deadline = config_.client_op_deadline;
   cfg.max_retries = config_.client_max_retries;
   cfg.failover = config_.client_failover;
+  cfg.retry_budget = config_.client_retry_budget;
+  cfg.max_pending_per_server = config_.client_max_pending_per_server;
+  cfg.propagate_deadline = config_.client_propagate_deadline;
   return std::make_unique<client::Client>(*fabric_, std::move(cfg), &backend_);
 }
 

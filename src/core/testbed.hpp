@@ -39,6 +39,10 @@ struct TestBedConfig {
   /// shard-scaling ablation and stress tests raise it explicitly.
   unsigned shards = 1;
   unsigned processing_threads = 1;
+  /// Modelled under-lock CPU cost per store op (see ManagerConfig). The
+  /// overload ablation uses it for a deterministic, host-independent
+  /// saturation point; 0 (default) leaves the store untouched.
+  sim::Nanos store_op_cost{0};
   std::size_t server_buffer_slots = 16;
   std::size_t client_bounce_slots = 16;
   std::size_t client_bounce_slot_bytes = std::size_t{1} << 20;
@@ -56,6 +60,15 @@ struct TestBedConfig {
   sim::Nanos client_op_deadline{0};
   unsigned client_max_retries = 2;
   client::FailoverPolicy client_failover{};
+
+  // ---- Overload control (DESIGN.md §8; all default-off) ----
+  /// Server admission bounds (async designs; see server::ServerConfig).
+  std::size_t server_max_inflight = 0;
+  std::size_t server_admission_queue_limit = 0;
+  /// Client-side overload knobs handed to every make_client().
+  std::uint64_t client_retry_budget = 0;
+  std::size_t client_max_pending_per_server = 0;
+  bool client_propagate_deadline = false;
 };
 
 class TestBed {

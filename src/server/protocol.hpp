@@ -229,6 +229,50 @@ inline std::optional<CasRequest> decode_cas(std::span<const char> payload) {
   return req;
 }
 
+// ---- Optional request-deadline header (overload control, DESIGN.md §8) ----
+//
+// A client propagating its op deadline prepends
+//   [u32 kDeadlineMagic][i64 absolute_deadline_ns]
+// to any request payload; the server strips it at receipt and sheds
+// expired-on-arrival work with kBusy before paying the slab/SSD phase. The
+// magic cannot collide with a legitimate first field: every request encoding
+// starts with a key_len that the decoders bound by the frame size, and no
+// frame approaches 3.5 GB. Decoding is deliberately lenient -- a truncated or
+// malformed header yields "no deadline" with the payload untouched (the inner
+// decoder then rejects it as malformed); it can never crash or over-read.
+
+inline constexpr std::uint32_t kDeadlineMagic = 0xD14D71FEu;
+
+struct DeadlineEnvelope {
+  std::int64_t deadline_ns = 0;   ///< steady-clock ns since epoch; 0 = none.
+  std::span<const char> inner{};  ///< Payload with the header stripped.
+};
+
+inline std::vector<char> with_deadline(std::int64_t deadline_ns,
+                                       std::span<const char> inner) {
+  std::vector<char> out;
+  out.reserve(12 + inner.size());
+  detail::append_u32(out, kDeadlineMagic);
+  detail::append_i64(out, deadline_ns);
+  out.insert(out.end(), inner.begin(), inner.end());
+  return out;
+}
+
+inline DeadlineEnvelope split_deadline(std::span<const char> payload) {
+  DeadlineEnvelope env;
+  env.inner = payload;
+  std::size_t pos = 0;
+  std::uint32_t magic = 0;
+  if (!detail::read_u32(payload, pos, magic)) return env;
+  if (magic != kDeadlineMagic) return env;
+  std::int64_t deadline_ns = 0;
+  if (!detail::read_i64(payload, pos, deadline_ns)) return env;  // truncated
+  if (deadline_ns <= 0) return env;  // nonsense deadline -> none
+  env.deadline_ns = deadline_ns;
+  env.inner = payload.subspan(pos);
+  return env;
+}
+
 /// Counter responses carry the new value as 8 LE bytes.
 inline std::vector<char> encode_counter_value(std::uint64_t value) {
   std::vector<char> out(8);

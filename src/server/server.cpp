@@ -33,6 +33,8 @@ std::string render_stats_text(const ServerCounters& counters,
   append_stat(out, "touches", counters.touches);
   append_stat(out, "admin", counters.admin);
   append_stat(out, "malformed", counters.malformed);
+  append_stat(out, "shed", counters.shed);
+  append_stat(out, "expired_on_arrival", counters.expired_on_arrival);
   append_stat(out, "items", item_count);
   append_stat(out, "ram_hits", store.ram_hits);
   append_stat(out, "ssd_hits", store.ssd_hits);
@@ -85,10 +87,16 @@ void MemcachedServer::stop() {
 }
 
 void MemcachedServer::network_main() {
+  const bool admission_on =
+      config_.max_inflight > 0 || config_.admission_queue_limit > 0;
   while (true) {
     auto msg = endpoint_->recv();
     if (!msg.ok()) break;  // endpoint closed
     if (config_.async_processing) {
+      if (admission_on) {
+        if (!admit(msg.value())) continue;  // shed with kBusy
+        inflight_.fetch_add(1, kRelaxed);
+      }
       // Buffer the request; a full slot pool stalls this receive loop,
       // back-pressuring clients that try to run too far ahead.
       if (!buffered_.push(std::move(msg).value())) break;
@@ -98,9 +106,32 @@ void MemcachedServer::network_main() {
   }
 }
 
+bool MemcachedServer::admit(const net::Message& request) {
+  const bool queue_full = config_.admission_queue_limit > 0 &&
+                          buffered_.size() >= config_.admission_queue_limit;
+  const bool inflight_full = config_.max_inflight > 0 &&
+                             inflight_.load(kRelaxed) >= config_.max_inflight;
+  if (!queue_full && !inflight_full) return true;
+  // Reject cheaply at receipt: no payload decode, no slab/SSD phase -- just
+  // a 5-byte kBusy response so the client backs off instead of queueing
+  // behind work the server cannot absorb. The network thread owns metrics
+  // slot 0, so these are the usual uncontended relaxed adds.
+  WorkerMetrics& metrics = metrics_[0];
+  metrics.requests.fetch_add(1, kRelaxed);
+  metrics.shed.fetch_add(1, kRelaxed);
+  endpoint_->send(request.src, kOpResponse, request.wr_id,
+                  encode_response(StatusCode::kBusy, 0));
+  return false;
+}
+
 void MemcachedServer::worker_main(std::size_t worker_index) {
   WorkerMetrics& metrics = metrics_[1 + worker_index];
-  while (auto msg = buffered_.pop()) handle(*msg, metrics);
+  const bool admission_on =
+      config_.max_inflight > 0 || config_.admission_queue_limit > 0;
+  while (auto msg = buffered_.pop()) {
+    handle(*msg, metrics);
+    if (admission_on) inflight_.fetch_sub(1, kRelaxed);
+  }
 }
 
 void MemcachedServer::handle(const net::Message& request,
@@ -114,9 +145,24 @@ void MemcachedServer::handle(const net::Message& request,
 
   metrics.requests.fetch_add(1, kRelaxed);
 
+  // Deadline propagation: strip the optional client-deadline header and drop
+  // expired-on-arrival work *before* paying the slab/SSD phase -- the client
+  // has already given up on it, so executing it is pure waste. The reply is
+  // kBusy (cheap, no side effects); a client that raced its own deadline
+  // treats it exactly like the timeout it was about to declare.
+  const auto envelope = split_deadline(request.payload);
+  if (envelope.deadline_ns != 0 &&
+      Clock::now().time_since_epoch().count() > envelope.deadline_ns) {
+    metrics.expired_on_arrival.fetch_add(1, kRelaxed);
+    endpoint_->send(request.src, kOpResponse, request.wr_id,
+                    encode_response(StatusCode::kBusy, 0));
+    return;
+  }
+  const std::span<const char> body = envelope.inner;
+
   switch (request.opcode) {
     case kOpSet: {
-      const auto req = decode_set(request.payload);
+      const auto req = decode_set(body);
       if (req.has_value()) {
         status = manager_.set(req->key, req->value, req->flags,
                               req->expiration, &stages);
@@ -127,7 +173,7 @@ void MemcachedServer::handle(const net::Message& request,
       break;
     }
     case kOpGet: {
-      const auto req = decode_key_request(request.payload);
+      const auto req = decode_key_request(body);
       if (req.has_value()) {
         status = manager_.get(req->key, value, flags, &stages);
         has_value = ok(status);
@@ -138,7 +184,7 @@ void MemcachedServer::handle(const net::Message& request,
       break;
     }
     case kOpDelete: {
-      const auto req = decode_key_request(request.payload);
+      const auto req = decode_key_request(body);
       if (req.has_value()) {
         status = manager_.del(req->key);
         metrics.deletes.fetch_add(1, kRelaxed);
@@ -151,7 +197,7 @@ void MemcachedServer::handle(const net::Message& request,
     case kOpReplace:
     case kOpAppend:
     case kOpPrepend: {
-      const auto req = decode_set(request.payload);
+      const auto req = decode_set(body);
       if (req.has_value()) {
         switch (request.opcode) {
           case kOpAdd:
@@ -177,7 +223,7 @@ void MemcachedServer::handle(const net::Message& request,
     }
     case kOpIncr:
     case kOpDecr: {
-      const auto req = decode_counter(request.payload);
+      const auto req = decode_counter(body);
       if (req.has_value()) {
         const auto result = request.opcode == kOpIncr
                                 ? manager_.incr(req->key, req->delta, &stages)
@@ -194,7 +240,7 @@ void MemcachedServer::handle(const net::Message& request,
       break;
     }
     case kOpTouch: {
-      const auto req = decode_touch(request.payload);
+      const auto req = decode_touch(body);
       if (req.has_value()) {
         status = manager_.touch(req->key, req->expiration);
         metrics.touches.fetch_add(1, kRelaxed);
@@ -217,7 +263,7 @@ void MemcachedServer::handle(const net::Message& request,
       break;
     }
     case kOpGets: {
-      const auto req = decode_key_request(request.payload);
+      const auto req = decode_key_request(body);
       if (req.has_value()) {
         std::vector<char> raw;
         std::uint64_t cas = 0;
@@ -235,7 +281,7 @@ void MemcachedServer::handle(const net::Message& request,
       break;
     }
     case kOpCas: {
-      const auto req = decode_cas(request.payload);
+      const auto req = decode_cas(body);
       if (req.has_value()) {
         status = manager_.cas(req->key, req->value, req->flags,
                               req->expiration, req->cas, &stages);
@@ -303,6 +349,8 @@ ServerCounters MemcachedServer::counters() const {
     c.touches += slot.touches.load(kRelaxed);
     c.admin += slot.admin.load(kRelaxed);
     c.malformed += slot.malformed.load(kRelaxed);
+    c.shed += slot.shed.load(kRelaxed);
+    c.expired_on_arrival += slot.expired_on_arrival.load(kRelaxed);
   }
   return c;
 }
@@ -318,6 +366,8 @@ void MemcachedServer::reset_metrics() {
     slot.touches.store(0, kRelaxed);
     slot.admin.store(0, kRelaxed);
     slot.malformed.store(0, kRelaxed);
+    slot.shed.store(0, kRelaxed);
+    slot.expired_on_arrival.store(0, kRelaxed);
   }
 }
 

@@ -49,12 +49,25 @@ struct ServerConfig {
   bool async_processing = false;
   unsigned processing_threads = 1;      ///< Async mode worker count.
   std::size_t request_buffer_slots = 16;///< Async mode buffered-request bound.
+
+  // ---- Overload control (DESIGN.md §8; both default-off, preserving the
+  //      pre-overload behaviour: a full slot pool stalls the receive loop
+  //      instead of shedding) ----
+  /// Async mode: bound on admitted-but-unfinished requests (0 = unlimited).
+  /// At the bound, new arrivals are rejected at receipt with a cheap kBusy
+  /// response -- no payload decode, no store phase.
+  std::size_t max_inflight = 0;
+  /// Async mode: buffered-queue depth at which the receive loop sheds with
+  /// kBusy instead of stalling (0 = off: blocking-push backpressure).
+  std::size_t admission_queue_limit = 0;
 };
 
 /// Per-op request counters. Every well-formed request bumps exactly one of
 /// sets/gets/deletes/touches/admin; a malformed or unknown one bumps
-/// malformed -- so `requests == ops_sum()` always balances (asserted by the
-/// chaos suite).
+/// malformed; a request rejected by admission control bumps shed, and one
+/// dropped for arriving past its propagated deadline bumps expired_on_arrival
+/// -- so `requests == ops_sum()` always balances (asserted by the chaos
+/// suite).
 struct ServerCounters {
   std::uint64_t requests = 0;
   std::uint64_t sets = 0;     ///< set/add/replace/append/prepend/incr/decr/cas.
@@ -63,9 +76,12 @@ struct ServerCounters {
   std::uint64_t touches = 0;
   std::uint64_t admin = 0;    ///< flush_all + stats.
   std::uint64_t malformed = 0;
+  std::uint64_t shed = 0;     ///< Rejected kBusy at receipt (admission full).
+  std::uint64_t expired_on_arrival = 0;  ///< Dropped: client deadline passed.
 
   [[nodiscard]] std::uint64_t ops_sum() const noexcept {
-    return sets + gets + deletes + touches + admin + malformed;
+    return sets + gets + deletes + touches + admin + malformed + shed +
+           expired_on_arrival;
   }
 };
 
@@ -119,11 +135,16 @@ class MemcachedServer {
     std::atomic<std::uint64_t> touches{0};
     std::atomic<std::uint64_t> admin{0};
     std::atomic<std::uint64_t> malformed{0};
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> expired_on_arrival{0};
   };
 
   void network_main();
   void worker_main(std::size_t worker_index);
   void handle(const net::Message& request, WorkerMetrics& metrics);
+  /// Admission check for one arriving request (async mode, admission on).
+  /// Returns false after shedding it with a cheap kBusy response.
+  bool admit(const net::Message& request);
   [[nodiscard]] std::vector<char> render_stats() const;
 
   net::Fabric& fabric_;
@@ -134,6 +155,9 @@ class MemcachedServer {
   BlockingQueue<net::Message> buffered_;  ///< Async mode slot pool.
   std::vector<std::thread> threads_;
   std::atomic<bool> running_{false};
+  /// Admitted-but-unfinished requests; only maintained when admission
+  /// control is on, so the default hot path carries zero extra work.
+  std::atomic<std::size_t> inflight_{0};
 
   /// Slot 0: network thread (sync mode); slots 1..N: processing workers.
   std::vector<WorkerMetrics> metrics_;

@@ -217,11 +217,20 @@ bool HybridSlabManager::flush_batch(unsigned cls,
     // The extent never became durable: these victims are lost. Erase every
     // entry still pointing at the failed batch (a concurrent set may have
     // displaced some already) -- counted, never silent.
-    stats_.flushes -= std::min<std::uint64_t>(stats_.flushes, 1);
-    stats_.flushed_items -=
-        std::min<std::uint64_t>(stats_.flushed_items, victims.size());
-    stats_.flushed_bytes -=
-        std::min<std::uint64_t>(stats_.flushed_bytes, staging.size());
+    //
+    // Roll back *exactly* what step 3 added for this batch. Concurrent
+    // flushes only ever add to these counters and each failed flush subtracts
+    // only its own contribution, so the subtraction can never underflow --
+    // clamping it (as this once did) would silently absorb a real accounting
+    // bug instead of surfacing it. ssd_live_bytes is rolled back per record
+    // via release_record_locked below (records displaced by a concurrent set
+    // during the write were already released at displacement).
+    assert(stats_.flushes >= 1);
+    assert(stats_.flushed_items >= victims.size());
+    assert(stats_.flushed_bytes >= staging.size());
+    stats_.flushes -= 1;
+    stats_.flushed_items -= victims.size();
+    stats_.flushed_bytes -= staging.size();
     for (std::size_t i = 0; i < victims.size(); ++i) {
       Entry* entry = index_.find(victims[i].key);
       if (entry != nullptr && entry->ram == nullptr &&

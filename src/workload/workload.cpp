@@ -127,6 +127,7 @@ void WorkloadResult::merge(const WorkloadResult& other) {
   hits += other.hits;
   misses += other.misses;
   errors += other.errors;
+  busy += other.busy;
   verify_failures += other.verify_failures;
 }
 
@@ -173,6 +174,8 @@ WorkloadResult run(client::Client& client, const WorkloadConfig& config) {
           }
         } else if (code == StatusCode::kNotFound) {
           ++result.misses;
+        } else if (code == StatusCode::kBusy) {
+          ++result.busy;  // shed by overload control, not a failure
         } else {
           ++result.errors;
         }
@@ -184,7 +187,11 @@ WorkloadResult run(client::Client& client, const WorkloadConfig& config) {
         result.op_latency.record(dt);
         result.write_latency.record(dt);
         ++result.writes;
-        if (!ok(code)) ++result.errors;
+        if (code == StatusCode::kBusy) {
+          ++result.busy;
+        } else if (!ok(code)) {
+          ++result.errors;
+        }
       }
       ++result.operations;
     }
@@ -215,12 +222,18 @@ WorkloadResult run(client::Client& client, const WorkloadConfig& config) {
           }
         } else if (code == StatusCode::kNotFound) {
           ++result.misses;
+        } else if (code == StatusCode::kBusy) {
+          ++result.busy;
         } else {
           ++result.errors;
         }
       } else {
         ++result.writes;
-        if (!ok(code)) ++result.errors;
+        if (code == StatusCode::kBusy) {
+          ++result.busy;
+        } else if (!ok(code)) {
+          ++result.errors;
+        }
       }
       slot.in_use = false;
       ++result.operations;
@@ -272,7 +285,13 @@ WorkloadResult run(client::Client& client, const WorkloadConfig& config) {
       blocked += dt;
       result.op_latency.record(dt);  // issue latency for non-blocking ops
       if (!ok(code)) {
-        ++result.errors;
+        // kBusy at issue = the local fail-fast window refused it (overload
+        // control working as designed), not an error.
+        if (code == StatusCode::kBusy) {
+          ++result.busy;
+        } else {
+          ++result.errors;
+        }
         slot->in_use = false;
         ++result.operations;
       }

@@ -55,6 +55,7 @@ struct WorkloadResult {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t errors = 0;
+  std::uint64_t busy = 0;  ///< Ops shed with kBusy (overload, not a failure).
   std::uint64_t verify_failures = 0;
 
   [[nodiscard]] double avg_latency_us() const {

@@ -49,6 +49,7 @@ bool terminal_under_chaos(StatusCode code) {
     case StatusCode::kServerDown:
     case StatusCode::kIoError:
     case StatusCode::kOutOfMemory:
+    case StatusCode::kBusy:  // shed by overload control: terminal, retryable
       return true;
     default:
       return false;
@@ -388,6 +389,104 @@ TEST_F(ChaosTest, ShardedStoreSurvivesFullStackChaos) {
   if (store.degraded) {
     EXPECT_GT(store.degraded_shards, 0u);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Metastable retry storm (overload control, DESIGN.md §8). A link-down
+// window turns every op into a full retry fan-out: with an unlimited retry
+// budget the client amplifies the outage (every op burns all its retries
+// against the dead link -- the classic storm that keeps a recovering system
+// saturated). With a retry budget the bucket drains once, the storm damps,
+// and after the window the client reaches a majority-success steady state.
+// Every request terminates with a terminal status in both modes -- the
+// storm is a throughput pathology, never a hang.
+TEST_F(ChaosTest, RetryBudgetDampsRetryStorm) {
+  struct StormResult {
+    std::uint64_t window_retries = 0;
+    std::uint64_t budget_exhausted = 0;
+    int recovery_ok = 0;
+    int recovery_total = 0;
+  };
+
+  const auto run_storm = [&](std::uint64_t retry_budget) -> StormResult {
+    TestBedConfig cfg;
+    cfg.design = Design::kRdmaMem;
+    cfg.num_servers = 1;
+    cfg.total_server_memory = 8 << 20;
+    cfg.fabric_faults.arm = true;  // link-down windows only, no random faults
+    // Generous deadline so every attempt's slice survives sanitizer
+    // slowdown -- the storm/damping contrast, not timing, is under test.
+    cfg.client_op_deadline = sim::ms(60);
+    cfg.client_max_retries = 4;
+    // No ejection: ring failover would damp the storm by failing fast, and
+    // this test isolates the *budget* as the damping mechanism.
+    cfg.client_failover.eject_after = 1u << 30;
+    cfg.client_retry_budget = retry_budget;
+    TestBed bed(cfg);
+    auto client = bed.make_client("storm");
+    const net::EndpointId server = bed.server(0).endpoint_id();
+    const auto value = make_value(3, 256);
+
+    // Warm phase: healthy traffic (also fills the refund ledger).
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(client->set(make_key(static_cast<std::uint64_t>(i)), value),
+                StatusCode::kOk);
+    }
+    const auto warm = client->counters();
+
+    // Fault window: the only server goes dark; every op must still
+    // terminate (kTimedOut here -- nothing hangs).
+    bed.fabric().set_link_down(server, true);
+    constexpr int kWindowOps = 12;
+    for (int i = 0; i < kWindowOps; ++i) {
+      const StatusCode code =
+          client->set(make_key(static_cast<std::uint64_t>(i)), value);
+      EXPECT_TRUE(terminal_under_chaos(code)) << to_string(code);
+      EXPECT_FALSE(ok(code));
+    }
+    const auto mid = client->counters();
+
+    // Recovery phase: the link heals; a damped client converges to
+    // majority success immediately.
+    bed.fabric().set_link_down(server, false);
+    StormResult result;
+    constexpr int kRecoveryOps = 30;
+    for (int i = 0; i < kRecoveryOps; ++i) {
+      const StatusCode code =
+          client->set(make_key(static_cast<std::uint64_t>(i)), value);
+      EXPECT_TRUE(terminal_under_chaos(code)) << to_string(code);
+      if (ok(code)) ++result.recovery_ok;
+      ++result.recovery_total;
+    }
+
+    EXPECT_EQ(client->pending_requests(), 0u);
+    EXPECT_EQ(client->free_bounce_slots(), cfg.client_bounce_slots);
+    expect_server_counters_balance(bed);
+
+    result.window_retries = mid.retries - warm.retries;
+    result.budget_exhausted = client->counters().retry_budget_exhausted;
+    return result;
+  };
+
+  const StormResult storm = run_storm(/*retry_budget=*/0);   // unlimited
+  const StormResult damped = run_storm(/*retry_budget=*/5);
+
+  // Unlimited budget: the window really was a storm -- retry attempts at
+  // least matched the primary ops (each op wants max_retries of them; the
+  // floor is loose so sanitizer slowdown cannot flake it).
+  EXPECT_GE(storm.window_retries, 10u);
+  EXPECT_EQ(storm.budget_exhausted, 0u);
+
+  // Budgeted: the bucket (5 tokens, no refunds while the link is dark)
+  // bounds the whole window's retry amplification to the budget.
+  EXPECT_LE(damped.window_retries, 5u);
+  EXPECT_GT(damped.budget_exhausted, 0u);
+  EXPECT_LT(damped.window_retries, storm.window_retries);
+
+  // Both reach majority success after the window; the damped client lost
+  // none of its steady-state health to the budget.
+  EXPECT_GT(storm.recovery_ok, storm.recovery_total / 2);
+  EXPECT_GT(damped.recovery_ok, damped.recovery_total / 2);
 }
 
 }  // namespace

@@ -1,0 +1,142 @@
+// Race: Client::wait_for cancels a request at its deadline while the server's
+// (late) kBusy response is simultaneously in flight. Whichever side wins,
+// the request must end in exactly one terminal status, the bounce-slot pool
+// must not leak, and the pending map must drain to empty -- the same
+// invariants the chaos suite holds for timeouts, now specifically against
+// the new kBusy path. Labelled `stress` for the TSan/ASan CI jobs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/client.hpp"
+#include "common/random.hpp"
+#include "common/sim_time.hpp"
+#include "net/fabric.hpp"
+#include "server/protocol.hpp"
+
+namespace hykv {
+namespace {
+
+class CancelRaceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim::init_precise_timing();
+    sim::set_time_scale(0.02);
+  }
+  void TearDown() override { sim::set_time_scale(1.0); }
+};
+
+TEST_F(CancelRaceTest, WaitForVsLateBusyResponseNeverLeaks) {
+  net::Fabric fabric(FabricProfile::fdr_rdma());
+  auto busy_server = fabric.create_endpoint("busy-server");
+
+  // The server answers every request kBusy after a randomized delay that
+  // straddles the client's wait_for timeout -- some responses land before
+  // the cancel, some after (the "late response" the pending map must absorb
+  // as stale without touching a freed slot or a dead Request).
+  std::thread responder([&] {
+    Rng rng(0xACE1);
+    while (true) {
+      auto msg = busy_server->recv();
+      if (!msg.ok()) break;
+      const auto delay = std::chrono::microseconds(rng.next_below(900));
+      std::this_thread::sleep_for(delay);
+      busy_server->send(msg.value().src, server::kOpResponse,
+                        msg.value().wr_id,
+                        server::encode_response(StatusCode::kBusy, 0));
+    }
+  });
+
+  constexpr std::size_t kBounceSlots = 4;
+  std::size_t busy_seen = 0;
+  std::size_t timed_out_seen = 0;
+  {
+    client::ClientConfig ccfg;
+    ccfg.servers = {busy_server->id()};
+    ccfg.bounce_slots = kBounceSlots;
+    // kBusy responses reset the failure streak (busy != dead), but the
+    // cancel-side strikes alone must also never eject during this test.
+    ccfg.failover.eject_after = 1u << 30;
+    auto client = std::make_unique<client::Client>(fabric, ccfg);
+
+    Rng rng(0x5ACE);
+    const std::string value = "race-payload";
+    for (int round = 0; round < 400; ++round) {
+      client::Request req;
+      // bset so every round holds (and must release) a bounce slot.
+      ASSERT_EQ(client->bset(make_key(static_cast<std::uint64_t>(round)),
+                             {value.data(), value.size()}, 0, 0, req),
+                StatusCode::kOk);
+      const auto timeout =
+          std::chrono::microseconds(200 + rng.next_below(700));
+      const StatusCode status = client->wait_for(
+          req, std::chrono::duration_cast<sim::Nanos>(timeout));
+      // Exactly one terminal verdict, and req agrees with the return value.
+      ASSERT_TRUE(req.done());
+      ASSERT_EQ(status, req.status());
+      if (status == StatusCode::kBusy) {
+        ++busy_seen;
+      } else if (status == StatusCode::kTimedOut) {
+        ++timed_out_seen;
+      } else {
+        FAIL() << "unexpected status " << to_string(status);
+      }
+    }
+
+    // The race ran both ways (delay and timeout distributions straddle).
+    EXPECT_GT(busy_seen, 0u);
+    EXPECT_GT(timed_out_seen, 0u);
+
+    // Give the last late responses a moment to drain as stale.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+    // No leaks: every bounce slot came home, the pending map is empty, and
+    // kBusy never fed the ejection streak.
+    EXPECT_EQ(client->free_bounce_slots(), kBounceSlots);
+    EXPECT_EQ(client->pending_requests(), 0u);
+    EXPECT_EQ(client->ring().dead_count(), 0u);
+  }
+  busy_server->close();
+  responder.join();
+}
+
+TEST_F(CancelRaceTest, CancelAfterCompletionReturnsRealStatus) {
+  net::Fabric fabric(FabricProfile::fdr_rdma());
+  auto busy_server = fabric.create_endpoint("busy-server");
+  std::thread responder([&] {
+    while (true) {
+      auto msg = busy_server->recv();
+      if (!msg.ok()) break;
+      busy_server->send(msg.value().src, server::kOpResponse,
+                        msg.value().wr_id,
+                        server::encode_response(StatusCode::kBusy, 0));
+    }
+  });
+
+  {
+    client::ClientConfig ccfg;
+    ccfg.servers = {busy_server->id()};
+    auto client = std::make_unique<client::Client>(fabric, ccfg);
+    const std::string value = "v";
+    for (int round = 0; round < 50; ++round) {
+      client::Request req;
+      ASSERT_EQ(client->iset("k", {value.data(), value.size()}, 0, 0, req),
+                StatusCode::kOk);
+      client->wait(req);
+      ASSERT_EQ(req.status(), StatusCode::kBusy);
+      // cancel() on an already-completed request must report the real
+      // verdict, not overwrite it with kTimedOut.
+      EXPECT_EQ(client->cancel(req), StatusCode::kBusy);
+    }
+    EXPECT_EQ(client->pending_requests(), 0u);
+  }
+  busy_server->close();
+  responder.join();
+}
+
+}  // namespace
+}  // namespace hykv

@@ -45,6 +45,10 @@ void decode_everything(std::span<const char> payload) {
     touch(cr->value);
   }
   (void)decode_counter_value(payload);
+  // The deadline splitter is lenient by design (no header -> no deadline,
+  // inner == payload) but its inner view must still stay inside `payload`.
+  const auto env = split_deadline(payload);
+  touch(env.inner);
 }
 
 TEST(ProtocolFuzzTest, RandomBytesNeverCrash) {
@@ -68,6 +72,11 @@ TEST(ProtocolFuzzTest, TruncationsOfValidFramesAreRejectedOrSafe) {
       encode_cas({.key = "cas-key", .value = value, .flags = 1,
                   .expiration = 2, .cas = 99}),
       encode_counter_value(123456789),
+      // Overload-control frames: deadline-wrapped requests and the kBusy
+      // status byte on the response path.
+      with_deadline(123456789, encode_key_request("deadline-key")),
+      with_deadline(1, encode_set({.key = "dl", .value = value})),
+      encode_response(StatusCode::kBusy, 0),
   };
   for (const auto& frame : corpus) {
     for (std::size_t cut = 0; cut <= frame.size(); ++cut) {
@@ -85,6 +94,45 @@ TEST(ProtocolFuzzTest, SingleByteMutationsAreSafe) {
     mutated[rng.next_below(mutated.size())] = static_cast<char>(rng.next() & 0xFF);
     decode_everything(mutated);
   }
+}
+
+TEST(ProtocolFuzzTest, DeadlineHeaderLenientDecode) {
+  const auto inner = encode_key_request("k");
+
+  // Well-formed: the deadline comes back and inner is exactly the payload.
+  const auto wrapped = with_deadline(42, inner);
+  const auto env = split_deadline(wrapped);
+  EXPECT_EQ(env.deadline_ns, 42);
+  ASSERT_EQ(env.inner.size(), inner.size());
+  EXPECT_EQ(std::memcmp(env.inner.data(), inner.data(), inner.size()), 0);
+
+  // No header: no deadline, payload untouched.
+  const auto bare = split_deadline(inner);
+  EXPECT_EQ(bare.deadline_ns, 0);
+  EXPECT_EQ(bare.inner.data(), inner.data());
+  EXPECT_EQ(bare.inner.size(), inner.size());
+
+  // Truncated after the magic: "no deadline", payload untouched -- the inner
+  // decoder then rejects the frame as malformed; never a crash.
+  for (std::size_t cut = 0; cut < 12; ++cut) {
+    const auto trunc = split_deadline(std::span<const char>(wrapped.data(), cut));
+    EXPECT_EQ(trunc.deadline_ns, 0) << cut;
+    EXPECT_EQ(trunc.inner.size(), cut) << cut;
+  }
+
+  // Nonsense (non-positive) deadline values decode as "no deadline".
+  for (const std::int64_t bogus : {std::int64_t{0}, std::int64_t{-1}}) {
+    const auto evil = with_deadline(bogus, inner);
+    EXPECT_EQ(split_deadline(evil).deadline_ns, 0) << bogus;
+  }
+}
+
+TEST(ProtocolFuzzTest, BusyStatusByteRoundTrips) {
+  const auto frame = encode_response(StatusCode::kBusy, 0);
+  const auto resp = decode_response(frame);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, StatusCode::kBusy);
+  EXPECT_TRUE(resp->value.empty());
 }
 
 TEST(ProtocolFuzzTest, LengthFieldOverflowRejected) {

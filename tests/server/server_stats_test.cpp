@@ -37,6 +37,8 @@ server::ServerCounters maximal_counters() {
   c.touches = kMax;
   c.admin = kMax;
   c.malformed = kMax;
+  c.shed = kMax;
+  c.expired_on_arrival = kMax;
   return c;
 }
 
@@ -78,6 +80,7 @@ TEST(RenderStatsTest, MaximalCountersRenderCompletelyAndWellFormed) {
   const std::string max64 = std::to_string(std::numeric_limits<std::uint64_t>::max());
   for (const char* name :
        {"requests", "sets", "gets", "deletes", "touches", "admin", "malformed",
+        "shed", "expired_on_arrival",
         "items", "ram_hits", "ssd_hits", "misses", "expired", "flushes",
         "flushed_bytes", "promotions", "dropped_evictions", "ssd_live_bytes",
         "io_errors", "degraded", "degraded_shards", "shards", "slab_pages",
@@ -102,7 +105,7 @@ TEST(RenderStatsTest, MaximalCountersRenderCompletelyAndWellFormed) {
     EXPECT_EQ(value.find_first_not_of("0123456789"), std::string::npos) << line;
     ++count;
   }
-  EXPECT_EQ(count, 24u);
+  EXPECT_EQ(count, 26u);
 }
 
 TEST(RenderStatsTest, ZeroCountersRenderAllLines) {
@@ -122,7 +125,9 @@ TEST(ServerCountersTest, OpsSumBalancesAcrossAllClasses) {
   c.touches = 7;
   c.admin = 1;
   c.malformed = 4;
-  EXPECT_EQ(c.ops_sum(), 22u);
+  c.shed = 6;
+  c.expired_on_arrival = 8;
+  EXPECT_EQ(c.ops_sum(), 36u);
 }
 
 // ---------------------------------------------------------------------------

@@ -367,5 +367,47 @@ TEST_F(HybridManagerTest, ConcurrentDisjointWorkloadsStayConsistent) {
   EXPECT_EQ(m.stats().checksum_failures, 0u);
 }
 
+TEST_F(HybridManagerTest, FailedFlushRollsBackCountersExactly) {
+  // Regression: the write-failure rollback in flush_batch used to subtract
+  // with std::min clamps, which would silently absorb (instead of surface)
+  // any imbalance. Force every flush to fail mid-batch -- allocation
+  // succeeds, the SSD write does not -- and assert the flush counters are
+  // restored to exactly zero: each failed flush must subtract precisely what
+  // it added, across many repetitions.
+  ssd::StorageStack storage(SsdProfile::sata(), test_cache());
+  ManagerConfig cfg = base_config(StorageMode::kHybrid);
+  cfg.degrade_after_io_errors = 1000;  // keep re-attempting failed flushes
+  HybridSlabManager m(cfg, &storage);
+  storage.device().set_failed(true);
+
+  // 2 MB RAM arena, 8 KB values: ~400 sets overflow RAM several times over,
+  // so multiple flush batches run (and every one of them fails).
+  for (std::uint64_t i = 0; i < 400; ++i) {
+    ASSERT_EQ(set(m, i, 8 << 10), StatusCode::kOk) << i;
+  }
+
+  const ManagerStats stats = m.stats();
+  EXPECT_GT(stats.io_errors, 1u);          // multiple flushes failed
+  EXPECT_GT(stats.dropped_evictions, 0u);  // victims lost -- counted
+  // Exact rollback: no flush ever became durable, so the cumulative flush
+  // accounting must be precisely zero -- not "zero after clamping".
+  EXPECT_EQ(stats.flushes, 0u);
+  EXPECT_EQ(stats.flushed_items, 0u);
+  EXPECT_EQ(stats.flushed_bytes, 0u);
+  EXPECT_EQ(stats.ssd_live_bytes, 0u);
+  EXPECT_FALSE(stats.degraded);
+
+  // The device heals: the next overflow flushes durably and the counters
+  // move forward from their exact-zero baseline.
+  storage.device().set_failed(false);
+  for (std::uint64_t i = 400; i < 600; ++i) {
+    ASSERT_EQ(set(m, i, 8 << 10), StatusCode::kOk) << i;
+  }
+  const ManagerStats healed = m.stats();
+  EXPECT_GT(healed.flushes, 0u);
+  EXPECT_EQ(healed.flushed_items * (8u << 10) <= healed.flushed_bytes, true);
+  EXPECT_GT(healed.ssd_live_bytes, 0u);
+}
+
 }  // namespace
 }  // namespace hykv::store
