@@ -1,6 +1,8 @@
 // YCSB-style core workloads (A: update-heavy, B: read-mostly, C: read-only,
-// U: uniform 50:50) across the key designs -- the cloud-workload framing the
-// paper's Section VI-A cites. Hybrid setup: 1.5x data:RAM, 32 KB values.
+// R: read-dominant 99:1, U: uniform 50:50) across the key designs -- the
+// cloud-workload framing the paper's Section VI-A cites. C and R are the
+// GET-heavy mixes the non-blocking read path targets. Hybrid setup: 1.5x
+// data:RAM, 32 KB values.
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -30,7 +32,8 @@ int main() {
     const char* label;
   };
   for (const Preset preset : {Preset{'A', "A 50:50"}, Preset{'B', "B 95:5"},
-                              Preset{'C', "C reads"}, Preset{'U', "U unif"}}) {
+                              Preset{'C', "C reads"}, Preset{'R', "R 99:1"},
+                              Preset{'U', "U unif"}}) {
     std::printf("  %-8s", preset.label);
     for (const auto design : designs) {
       Scenario s;

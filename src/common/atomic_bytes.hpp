@@ -1,0 +1,91 @@
+// Seqlock-compatible field and byte access.
+//
+// The optimistic GET path reads item bytes that an in-place SET may be
+// overwriting concurrently; the seqlock version bracket *detects* the tear
+// and retries, but under the C++ memory model (and ThreadSanitizer) the
+// racing accesses themselves must still be atomic or the program is UB
+// before validation ever runs. These helpers make every racing access
+// atomic via std::atomic_ref: word-wide where alignment allows, so the
+// copy costs about the same as memcpy, and byte-wide at the edges.
+//
+// Ordering: this is the *fence-free* seqlock formulation (Boehm, "Can
+// seqlocks get along with programming language memory models?"). Data
+// stores are release and data loads are acquire, so the version bracket in
+// store/item.hpp needs no standalone atomic_thread_fence -- which GCC
+// rejects under -fsanitize=thread (-Wtsan) because TSan cannot model
+// fences. Writer side: a release data store keeps the preceding odd
+// version store ordered before it. Reader side: an acquire data load keeps
+// the subsequent validating version load ordered after it. On x86 both are
+// plain loads/stores; the seqlock loses nothing.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace hykv {
+
+/// Acquire-atomic load of a single (suitably aligned) field that a seqlock
+/// writer may store concurrently; the caller's later version re-check
+/// cannot be reordered before it.
+template <typename T>
+[[nodiscard]] inline T seq_load(const T& field) noexcept {
+  return std::atomic_ref<T>(const_cast<T&>(field))
+      .load(std::memory_order_acquire);
+}
+
+/// Release-atomic store counterpart; the caller brackets it with the item's
+/// version counter (seq_write_begin/end), and release keeps the odd
+/// version store ordered before the data.
+template <typename T>
+inline void seq_store(T& field, T value) noexcept {
+  std::atomic_ref<T>(field).store(value, std::memory_order_release);
+}
+
+/// Copies `n` bytes into a buffer that seqlock readers may be scanning:
+/// every store is a release atomic, 8 bytes at a time where `dst` is
+/// aligned (`src` may be arbitrary -- it is staged through a register).
+inline void atomic_store_bytes(char* dst, const char* src,
+                               std::size_t n) noexcept {
+  std::size_t i = 0;
+  while (i < n && (reinterpret_cast<std::uintptr_t>(dst + i) & 7u) != 0) {
+    std::atomic_ref<char>(dst[i]).store(src[i], std::memory_order_release);
+    ++i;
+  }
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t word;
+    std::memcpy(&word, src + i, 8);
+    std::atomic_ref<std::uint64_t>(*reinterpret_cast<std::uint64_t*>(dst + i))
+        .store(word, std::memory_order_release);
+  }
+  for (; i < n; ++i) {
+    std::atomic_ref<char>(dst[i]).store(src[i], std::memory_order_release);
+  }
+}
+
+/// Mirror read: copies `n` bytes out of a buffer a seqlock writer may be
+/// overwriting. The result may be torn -- the caller MUST validate the
+/// version bracket before trusting it.
+inline void atomic_load_bytes(char* dst, const char* src,
+                              std::size_t n) noexcept {
+  std::size_t i = 0;
+  while (i < n && (reinterpret_cast<std::uintptr_t>(src + i) & 7u) != 0) {
+    dst[i] = std::atomic_ref<char>(const_cast<char&>(src[i]))
+                 .load(std::memory_order_acquire);
+    ++i;
+  }
+  for (; i + 8 <= n; i += 8) {
+    const std::uint64_t word =
+        std::atomic_ref<std::uint64_t>(
+            *reinterpret_cast<std::uint64_t*>(const_cast<char*>(src + i)))
+            .load(std::memory_order_acquire);
+    std::memcpy(dst + i, &word, 8);
+  }
+  for (; i < n; ++i) {
+    dst[i] = std::atomic_ref<char>(const_cast<char&>(src[i]))
+                 .load(std::memory_order_acquire);
+  }
+}
+
+}  // namespace hykv

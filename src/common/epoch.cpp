@@ -1,0 +1,219 @@
+#include "common/epoch.hpp"
+
+#include <algorithm>
+#include <array>
+#include <mutex>
+#include <unordered_set>
+
+namespace hykv::epoch {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Domain liveness registry.
+//
+// Threads cache (domain id, slot*) registrations in thread-local storage so
+// re-entry is O(1). A cached slot pointer outlives the thread's last Guard,
+// so releasing it at thread exit (or cache eviction) must not touch a Domain
+// that has already been destroyed. The registry records live domain ids;
+// release is a no-op for dead ones (their slot memory died with them).
+// Intentionally leaked so thread-exit destructors never race static teardown.
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_set<std::uint64_t> live;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: see header contract
+  return *r;
+}
+
+std::uint64_t next_domain_id() {
+  static std::atomic<std::uint64_t> seq{1};
+  return seq.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Per-thread registration cache.
+
+struct ThreadCache {
+  struct Registration {
+    std::uint64_t domain_id = 0;
+    Domain* domain = nullptr;
+    Domain::Slot* slot = nullptr;
+    std::uint32_t depth = 0;  ///< Nested guards; only the owner thread touches.
+  };
+
+  static constexpr std::size_t kEntries = 4;
+  std::array<Registration, kEntries> entries{};
+
+  ~ThreadCache() {
+    for (Registration& reg : entries) release(reg);
+  }
+
+  /// Releases a registration's slot iff its domain is still alive. The slot
+  /// write happens under the registry lock so it cannot race ~Domain.
+  static void release(Registration& reg) {
+    if (reg.slot == nullptr) return;
+    Registry& r = registry();
+    const std::scoped_lock lock(r.mu);
+    if (r.live.contains(reg.domain_id)) {
+      reg.slot->epoch.store(0, std::memory_order_release);
+      reg.slot->claimed.store(false, std::memory_order_release);
+    }
+    reg = Registration{};
+  }
+
+  Registration* find_or_register(Domain& domain) {
+    Registration* empty = nullptr;
+    Registration* evictable = nullptr;
+    for (Registration& reg : entries) {
+      if (reg.slot != nullptr && reg.domain == &domain &&
+          reg.domain_id == domain.id()) {
+        return &reg;
+      }
+      if (reg.slot == nullptr) {
+        if (empty == nullptr) empty = &reg;
+      } else if (reg.depth == 0 && evictable == nullptr) {
+        evictable = &reg;
+      }
+    }
+    Registration* target = empty;
+    if (target == nullptr && evictable != nullptr) {
+      release(*evictable);  // make room: that domain can re-register later
+      target = evictable;
+    }
+    if (target == nullptr) return nullptr;  // all entries mid-guard
+    Domain::Slot* slot = domain.claim_slot();
+    if (slot == nullptr) return nullptr;  // domain at max_readers
+    target->domain_id = domain.id();
+    target->domain = &domain;
+    target->slot = slot;
+    target->depth = 0;
+    return target;
+  }
+};
+
+namespace {
+thread_local ThreadCache tls_cache;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Domain.
+
+Domain::Domain(std::size_t max_readers)
+    : id_(next_domain_id()), slots_(max_readers == 0 ? 1 : max_readers) {
+  Registry& r = registry();
+  const std::scoped_lock lock(r.mu);
+  r.live.insert(id_);
+}
+
+Domain::~Domain() {
+  Registry& r = registry();
+  const std::scoped_lock lock(r.mu);
+  r.live.erase(id_);
+}
+
+Domain::Slot* Domain::claim_slot() noexcept {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    bool expected = false;
+    if (slots_[i].claimed.compare_exchange_strong(expected, true,
+                                                  std::memory_order_acq_rel)) {
+      // Raise the scan bound for try_advance.
+      std::size_t hw = high_water_.load(std::memory_order_relaxed);
+      while (hw < i + 1 && !high_water_.compare_exchange_weak(
+                               hw, i + 1, std::memory_order_release,
+                               std::memory_order_relaxed)) {
+      }
+      return &slots_[i];
+    }
+  }
+  return nullptr;
+}
+
+void* Domain::enter() {
+  ThreadCache::Registration* reg = tls_cache.find_or_register(*this);
+  if (reg == nullptr) return nullptr;
+  if (reg->depth++ == 0) {
+    // Pin: publish the observed epoch, then confirm it is still current so a
+    // pin of a long-stale epoch cannot wedge advancement behind this reader.
+    Slot* slot = reg->slot;
+    std::uint64_t e = epoch_.load(std::memory_order_seq_cst);
+    for (;;) {
+      slot->epoch.store(e, std::memory_order_seq_cst);
+      const std::uint64_t again = epoch_.load(std::memory_order_seq_cst);
+      if (again == e) break;
+      e = again;
+    }
+  }
+  return reg;
+}
+
+void Domain::exit(void* registration) noexcept {
+  auto* reg = static_cast<ThreadCache::Registration*>(registration);
+  if (--reg->depth == 0) {
+    reg->slot->epoch.store(0, std::memory_order_release);
+  }
+}
+
+bool Domain::try_advance() noexcept {
+  std::uint64_t e = epoch_.load(std::memory_order_seq_cst);
+  const std::size_t bound =
+      std::min(high_water_.load(std::memory_order_acquire), slots_.size());
+  for (std::size_t i = 0; i < bound; ++i) {
+    const std::uint64_t pinned = slots_[i].epoch.load(std::memory_order_seq_cst);
+    if (pinned != 0 && pinned != e) return false;  // reader still in e-1
+  }
+  return epoch_.compare_exchange_strong(e, e + 1, std::memory_order_seq_cst);
+}
+
+std::size_t Domain::active_readers() const noexcept {
+  const std::size_t bound =
+      std::min(high_water_.load(std::memory_order_acquire), slots_.size());
+  std::size_t active = 0;
+  for (std::size_t i = 0; i < bound; ++i) {
+    if (slots_[i].epoch.load(std::memory_order_acquire) != 0) ++active;
+  }
+  return active;
+}
+
+Domain& global() {
+  static Domain domain;
+  return domain;
+}
+
+// ---------------------------------------------------------------------------
+// Limbo.
+
+std::size_t Limbo::flush() {
+  if (entries_.empty()) return 0;
+  // Two steps so a quiescent domain reclaims a just-retired object in one
+  // call (retire epoch r frees at r+2); under active readers the first
+  // blocked step makes both no-ops.
+  domain_->try_advance();
+  domain_->try_advance();
+  const std::uint64_t cur = domain_->current();
+  std::size_t freed = 0;
+  while (!entries_.empty() && entries_.front().epoch + 2 <= cur) {
+    const Retired r = entries_.front();
+    entries_.pop_front();
+    r.fn(r.ctx, r.obj, r.aux);
+    ++freed;
+  }
+  return freed;
+}
+
+std::size_t Limbo::flush_all() {
+  std::size_t freed = 0;
+  while (!entries_.empty()) {
+    const Retired r = entries_.front();
+    entries_.pop_front();
+    r.fn(r.ctx, r.obj, r.aux);
+    ++freed;
+  }
+  return freed;
+}
+
+}  // namespace hykv::epoch

@@ -1,0 +1,160 @@
+// Epoch-based reclamation (EBR) for the lock-free read paths.
+//
+// The store's optimistic GETs walk hash buckets and copy item bytes without
+// taking the shard lock, so writers can never free a hash node or recycle a
+// slab chunk the moment they unlink it -- a preempted reader may still hold
+// the pointer. Classic three-epoch EBR (Fraser '04; the same discipline
+// crossbeam-epoch and the Linux kernel's RCU use) solves this:
+//
+//   - Readers *pin* the global epoch for the duration of a short critical
+//     section (Domain::Guard). Pinning is two uncontended atomic stores on a
+//     cache-line-private slot -- no locks, no RMW on shared lines.
+//   - Writers unlink objects under their own lock, then *retire* them into a
+//     Limbo list stamped with the current epoch instead of freeing.
+//   - The epoch advances e -> e+1 only when every active reader has observed
+//     e. An object retired at epoch r is unreachable for any reader pinned
+//     after r, so once the epoch reaches r+2 no reader that could still hold
+//     the pointer remains, and the object can be freed.
+//
+// Contracts (all cheap, all held by the store tier):
+//   - A Domain must outlive every Guard into it and every thread that ever
+//     entered it must either exit or be joined before the Domain dies
+//     (thread-exit slot release checks a liveness registry, so stale cached
+//     registrations for a dead Domain are skipped, not dereferenced).
+//   - Limbo is not thread-safe; its owner serialises retire()/flush() (the
+//     slab manager calls both under its shard mutex).
+//   - Critical sections must not block: a pinned reader stalls reclamation
+//     for every writer of the domain.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace hykv::epoch {
+
+class Domain {
+ public:
+  /// Default cap on concurrently registered reader threads. Entering beyond
+  /// the cap is not an error: Guard::engaged() reports false and the caller
+  /// takes its locked fallback path.
+  static constexpr std::size_t kDefaultMaxReaders = 64;
+
+  explicit Domain(std::size_t max_readers = kDefaultMaxReaders);
+  ~Domain();
+
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+
+  /// RAII read-side critical section. Construction pins the current epoch
+  /// (lock-free); destruction unpins. Nestable within a thread.
+  class Guard {
+   public:
+    explicit Guard(Domain& domain) : domain_(domain), reg_(domain.enter()) {}
+    ~Guard() {
+      if (reg_ != nullptr) domain_.exit(reg_);
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+    /// False when no reader slot was available (domain at max_readers):
+    /// the caller is NOT protected and must use its locked path.
+    [[nodiscard]] bool engaged() const noexcept { return reg_ != nullptr; }
+
+   private:
+    Domain& domain_;
+    void* reg_;
+  };
+
+  [[nodiscard]] std::uint64_t current() const noexcept {
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+
+  /// Advances the epoch one step iff every active reader has observed the
+  /// current one. Returns false (harmless) when a reader lags.
+  bool try_advance() noexcept;
+
+  /// Active pinned readers right now (diagnostics/tests).
+  [[nodiscard]] std::size_t active_readers() const noexcept;
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> epoch{0};  ///< 0 = quiescent.
+    std::atomic<bool> claimed{false};
+  };
+
+  friend struct ThreadCache;
+
+  /// Pins the epoch; returns an opaque per-thread registration, or nullptr
+  /// when every slot is taken. O(1) after a thread's first entry.
+  void* enter();
+  void exit(void* registration) noexcept;
+  Slot* claim_slot() noexcept;
+
+  std::uint64_t id_;
+  std::atomic<std::uint64_t> epoch_{1};
+  std::vector<Slot> slots_;
+  std::atomic<std::size_t> high_water_{0};  ///< Slots ever claimed (scan bound).
+};
+
+/// The process-wide domain the storage tier uses. One domain (not one per
+/// shard) so a reader thread pins exactly once however many shards it reads.
+Domain& global();
+
+/// Deferred-destruction list: objects retired at epoch r are destroyed by
+/// flush() once the domain's epoch reaches r+2. NOT thread-safe -- the owner
+/// serialises access (the slab manager holds its shard mutex).
+class Limbo {
+ public:
+  /// Type-erased deleter: fn(ctx, obj, aux). No std::function -- retiring is
+  /// on the write hot path and must not allocate beyond the deque slot.
+  using DeleteFn = void (*)(void* ctx, void* obj, std::uint64_t aux);
+
+  explicit Limbo(Domain& domain) : domain_(&domain) {}
+  ~Limbo() { flush_all(); }
+
+  Limbo(const Limbo&) = delete;
+  Limbo& operator=(const Limbo&) = delete;
+
+  void retire(void* obj, std::uint64_t aux, DeleteFn fn, void* ctx) {
+    entries_.push_back(Retired{domain_->current(), obj, aux, fn, ctx});
+  }
+
+  template <typename T>
+  void retire_delete(T* obj) {
+    retire(
+        obj, 0,
+        [](void*, void* o, std::uint64_t) { delete static_cast<T*>(o); },
+        nullptr);
+  }
+
+  /// Tries to advance the epoch (twice, so a quiescent domain reclaims in
+  /// one call) and destroys every entry whose epoch is 2 behind. Returns the
+  /// number destroyed.
+  std::size_t flush();
+
+  /// Destroys everything unconditionally. Only legal when the owner knows no
+  /// reader can still hold references (destructor / quiesced teardown).
+  std::size_t flush_all();
+
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  struct Retired {
+    std::uint64_t epoch;
+    void* obj;
+    std::uint64_t aux;
+    DeleteFn fn;
+    void* ctx;
+  };
+
+  Domain* domain_;
+  std::deque<Retired> entries_;  ///< Epoch-ordered (stamps are monotonic).
+};
+
+}  // namespace hykv::epoch

@@ -40,6 +40,9 @@ std::string render_stats_text(const ServerCounters& counters,
   append_stat(out, "ssd_hits", store.ssd_hits);
   append_stat(out, "misses", store.misses);
   append_stat(out, "expired", store.expired);
+  append_stat(out, "optimistic_hits", store.optimistic_hits);
+  append_stat(out, "optimistic_retries", store.optimistic_retries);
+  append_stat(out, "locked_fallbacks", store.locked_fallbacks);
   append_stat(out, "flushes", store.flushes);
   append_stat(out, "flushed_bytes", store.flushed_bytes);
   append_stat(out, "promotions", store.promotions);

@@ -1,20 +1,41 @@
 // Chained hash map from key bytes to an arbitrary mapped value, modelled on
 // memcached's assoc table: power-of-two buckets, jenkins one-at-a-time key
-// hash, incremental growth when the load factor exceeds 1.5.
+// hash, growth when the load factor exceeds 1.5.
 //
 // Header-only template so the slab manager can map keys to storage handles
-// without type erasure. Not thread-safe (the owner serialises access).
+// without type erasure.
+//
+// Concurrency model (single writer, many lock-free readers):
+//   - All mutation (upsert/erase/clear/grow) is serialised by the owner --
+//     the shard lock -- exactly as before.
+//   - find_optimistic() may run WITHOUT the lock, concurrently with any
+//     mutation, provided the caller holds an epoch::Domain guard. It only
+//     ever follows atomically published pointers: the table pointer
+//     (acquire), bucket heads (acquire) and next links (acquire). A node's
+//     key/hash are immutable after publication, so the walk needs no per-node
+//     versioning. The mapped value V may be mutated in place by the writer;
+//     interpreting it safely is the caller's job (the store brackets item
+//     mutation with a seqlock, see item.hpp).
+//   - Nothing reachable by readers is freed directly. Unlinked nodes, cleared
+//     chains and superseded tables go through the attached epoch::Limbo
+//     (set_limbo); without one the map assumes single-threaded use and
+//     deletes eagerly (tests, tools).
+//   - Growth clones every node into a fresh table and publishes it with one
+//     atomic store, then retires the old table whole. A reader mid-walk on
+//     the old table sees a consistent -- merely slightly stale -- snapshot,
+//     which linearises the lookup before the concurrent insert.
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstddef>
-#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/epoch.hpp"
 #include "common/hash.hpp"
 
 namespace hykv::store {
@@ -23,83 +44,150 @@ template <typename V>
 class HashMap {
  public:
   explicit HashMap(std::size_t initial_buckets = 1024)
-      : buckets_(round_up_pow2(initial_buckets)) {}
+      : table_(new Table(round_up_pow2(initial_buckets))) {}
 
   HashMap(const HashMap&) = delete;
   HashMap& operator=(const HashMap&) = delete;
-  HashMap(HashMap&&) = default;
-  HashMap& operator=(HashMap&&) = default;
+  HashMap(HashMap&&) = delete;
+  HashMap& operator=(HashMap&&) = delete;
+
+  ~HashMap() {
+    // Teardown is quiescent by contract (no concurrent readers); free
+    // directly rather than through limbo.
+    Table* table = table_.load(std::memory_order_relaxed);
+    delete_table_chains(table);
+    delete table;
+  }
+
+  /// Attaches the limbo list unlinked nodes and retired tables are deferred
+  /// to. Must be set before any concurrent reader exists and the owner must
+  /// serialise retire/flush on it (the store holds its shard mutex).
+  void set_limbo(epoch::Limbo* limbo) noexcept { limbo_ = limbo; }
 
   /// Inserts or overwrites. Returns a reference to the mapped value.
+  /// Writer-only. Growth happens only on the insert path: an overwrite never
+  /// changes the load factor, so rehashing there was pure waste.
   V& upsert(std::string_view key, V value) {
-    maybe_grow();
     const std::uint32_t h = jenkins_oaat(key);
-    Node* node = find_node(key, h);
+    Table* table = table_.load(std::memory_order_relaxed);
+    Node* node = find_node(table, key, h);
     if (node != nullptr) {
       node->value = std::move(value);
       return node->value;
     }
-    auto fresh = std::make_unique<Node>();
+    if (maybe_grow(table)) {
+      table = table_.load(std::memory_order_relaxed);
+    }
+    Node* fresh = new Node();
     fresh->key = std::string(key);
     fresh->hash = h;
     fresh->value = std::move(value);
-    const std::size_t index = h & (buckets_.size() - 1);
-    fresh->next = std::move(buckets_[index]);
-    buckets_[index] = std::move(fresh);
+    std::atomic<Node*>& head = table->buckets[h & (table->buckets.size() - 1)];
+    fresh->next.store(head.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    // Release so readers that see the node see its key/hash/value.
+    head.store(fresh, std::memory_order_release);
     ++size_;
-    return buckets_[index]->value;
+    return fresh->value;
   }
 
+  /// Writer-side lookup (owner holds the shard lock).
   [[nodiscard]] V* find(std::string_view key) {
-    Node* node = find_node(key, jenkins_oaat(key));
+    Table* table = table_.load(std::memory_order_relaxed);
+    Node* node = find_node(table, key, jenkins_oaat(key));
     return node != nullptr ? &node->value : nullptr;
   }
   [[nodiscard]] const V* find(std::string_view key) const {
     return const_cast<HashMap*>(this)->find(key);
   }
 
+  /// Lock-free lookup: safe concurrently with any writer, PROVIDED the
+  /// calling thread holds an epoch::Domain guard for the map's limbo domain
+  /// (otherwise a just-erased node could be freed mid-walk). The returned
+  /// pointer is valid only while the guard is held, and the pointed-to value
+  /// may be concurrently mutated by the writer.
+  [[nodiscard]] const V* find_optimistic(std::string_view key) const {
+    const std::uint32_t h = jenkins_oaat(key);
+    const Table* table = table_.load(std::memory_order_acquire);
+    const std::atomic<Node*>& head =
+        table->buckets[h & (table->buckets.size() - 1)];
+    for (const Node* node = head.load(std::memory_order_acquire);
+         node != nullptr; node = node->next.load(std::memory_order_acquire)) {
+      if (node->hash == h && node->key == key) return &node->value;
+    }
+    return nullptr;
+  }
+
   /// Removes the key; returns the mapped value if it was present.
+  /// Writer-only. The node is unlinked with a release store and retired.
   std::optional<V> erase(std::string_view key) {
     const std::uint32_t h = jenkins_oaat(key);
-    const std::size_t index = h & (buckets_.size() - 1);
-    std::unique_ptr<Node>* slot = &buckets_[index];
-    while (*slot != nullptr) {
-      if ((*slot)->hash == h && (*slot)->key == key) {
-        std::unique_ptr<Node> victim = std::move(*slot);
-        *slot = std::move(victim->next);
+    Table* table = table_.load(std::memory_order_relaxed);
+    std::atomic<Node*>* slot =
+        &table->buckets[h & (table->buckets.size() - 1)];
+    for (Node* node = slot->load(std::memory_order_relaxed); node != nullptr;
+         node = slot->load(std::memory_order_relaxed)) {
+      if (node->hash == h && node->key == key) {
+        slot->store(node->next.load(std::memory_order_relaxed),
+                    std::memory_order_release);
         --size_;
-        return std::move(victim->value);
+        std::optional<V> out(std::move(node->value));
+        retire_node(node);
+        return out;
       }
-      slot = &(*slot)->next;
+      slot = &node->next;
     }
     return std::nullopt;
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
-  [[nodiscard]] std::size_t bucket_count() const noexcept { return buckets_.size(); }
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return table_.load(std::memory_order_relaxed)->buckets.size();
+  }
 
-  /// Visits every (key, value&) pair; mutation of keys is not allowed.
+  /// Visits every (key, value&) pair. Writer-only.
   template <typename Fn>
   void for_each(Fn&& fn) {
-    for (auto& head : buckets_) {
-      for (Node* node = head.get(); node != nullptr; node = node->next.get()) {
+    Table* table = table_.load(std::memory_order_relaxed);
+    for (auto& head : table->buckets) {
+      for (Node* node = head.load(std::memory_order_relaxed); node != nullptr;
+           node = node->next.load(std::memory_order_relaxed)) {
         fn(std::string_view(node->key), node->value);
       }
     }
   }
 
+  /// Empties the map. Writer-only; chains are retired, not freed, so a
+  /// concurrent reader mid-walk stays safe.
   void clear() {
-    for (auto& head : buckets_) head.reset();
+    Table* table = table_.load(std::memory_order_relaxed);
+    for (auto& head : table->buckets) {
+      Node* node = head.load(std::memory_order_relaxed);
+      head.store(nullptr, std::memory_order_release);
+      while (node != nullptr) {
+        Node* next = node->next.load(std::memory_order_relaxed);
+        retire_node(node);
+        node = next;
+      }
+    }
     size_ = 0;
   }
 
  private:
+  struct Node;  // fwd for Table
+
+  struct Table {
+    explicit Table(std::size_t n) : buckets(n) {}
+    std::vector<std::atomic<Node*>> buckets;
+  };
+
   struct Node {
-    std::string key;
-    std::uint32_t hash = 0;
-    V value{};
-    std::unique_ptr<Node> next;
+    std::string key;            ///< Immutable after publication.
+    std::uint32_t hash = 0;     ///< Immutable after publication.
+    V value{};                  ///< Writer-mutable; readers interpret via V's
+                                ///< own protocol (seqlock'd item pointers).
+    std::atomic<Node*> next{nullptr};
   };
 
   static std::size_t round_up_pow2(std::size_t v) {
@@ -108,32 +196,76 @@ class HashMap {
     return p;
   }
 
-  Node* find_node(std::string_view key, std::uint32_t h) {
-    const std::size_t index = h & (buckets_.size() - 1);
-    for (Node* node = buckets_[index].get(); node != nullptr;
-         node = node->next.get()) {
+  static Node* find_node(Table* table, std::string_view key, std::uint32_t h) {
+    const std::size_t index = h & (table->buckets.size() - 1);
+    for (Node* node = table->buckets[index].load(std::memory_order_relaxed);
+         node != nullptr; node = node->next.load(std::memory_order_relaxed)) {
       if (node->hash == h && node->key == key) return node;
     }
     return nullptr;
   }
 
-  void maybe_grow() {
-    if (size_ < buckets_.size() + buckets_.size() / 2) return;  // load < 1.5
-    std::vector<std::unique_ptr<Node>> grown(buckets_.size() * 2);
-    for (auto& head : buckets_) {
-      while (head != nullptr) {
-        std::unique_ptr<Node> node = std::move(head);
-        head = std::move(node->next);
-        const std::size_t index = node->hash & (grown.size() - 1);
-        node->next = std::move(grown[index]);
-        grown[index] = std::move(node);
-      }
+  void retire_node(Node* node) {
+    if (limbo_ != nullptr) {
+      limbo_->retire_delete(node);
+    } else {
+      delete node;
     }
-    buckets_ = std::move(grown);
   }
 
-  std::vector<std::unique_ptr<Node>> buckets_;
+  static void delete_table_chains(Table* table) {
+    for (auto& head : table->buckets) {
+      Node* node = head.load(std::memory_order_relaxed);
+      while (node != nullptr) {
+        Node* next = node->next.load(std::memory_order_relaxed);
+        delete node;
+        node = next;
+      }
+    }
+  }
+
+  /// Grows by cloning every node into a table twice the size and publishing
+  /// it atomically; the superseded table is retired whole (nodes included)
+  /// because readers may still be walking it. Returns true if it grew.
+  bool maybe_grow(Table* table) {
+    const std::size_t buckets = table->buckets.size();
+    if (size_ < buckets + buckets / 2) return false;  // load < 1.5
+    auto* grown = new Table(buckets * 2);
+    for (auto& head : table->buckets) {
+      for (Node* node = head.load(std::memory_order_relaxed); node != nullptr;
+           node = node->next.load(std::memory_order_relaxed)) {
+        Node* clone = new Node();
+        clone->key = node->key;
+        clone->hash = node->hash;
+        clone->value = node->value;
+        std::atomic<Node*>& slot =
+            grown->buckets[node->hash & (grown->buckets.size() - 1)];
+        // Pre-publication stores: the table publish below is the release.
+        clone->next.store(slot.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+        slot.store(clone, std::memory_order_relaxed);
+      }
+    }
+    table_.store(grown, std::memory_order_release);
+    if (limbo_ != nullptr) {
+      limbo_->retire(
+          table, 0,
+          [](void*, void* obj, std::uint64_t) {
+            auto* old = static_cast<Table*>(obj);
+            delete_table_chains(old);
+            delete old;
+          },
+          nullptr);
+    } else {
+      delete_table_chains(table);
+      delete table;
+    }
+    return true;
+  }
+
+  std::atomic<Table*> table_;
   std::size_t size_ = 0;
+  epoch::Limbo* limbo_ = nullptr;
 };
 
 }  // namespace hykv::store

@@ -5,7 +5,9 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
+#include "common/atomic_bytes.hpp"
 #include "common/hash.hpp"
 #include "common/logging.hpp"
 
@@ -60,9 +62,15 @@ HybridSlabManager::HybridSlabManager(ManagerConfig config,
     : config_(config), storage_(storage), slabs_(config.slab) {
   assert(config_.mode == StorageMode::kInMemory || storage_ != nullptr);
   lru_.resize(slabs_.num_classes());
+  limbo_chunks_.resize(slabs_.num_classes(), 0);
+  if (config_.optimistic_reads) index_.set_limbo(&limbo_);
 }
 
-HybridSlabManager::~HybridSlabManager() = default;
+HybridSlabManager::~HybridSlabManager() {
+  // Teardown is quiescent by contract (no readers in flight). Drain limbo
+  // while slabs_/limbo_chunks_ are guaranteed alive for the callbacks.
+  limbo_.flush_all();
+}
 
 bool HybridSlabManager::expired(std::int64_t expiry) const noexcept {
   return expiry != 0 && steady_seconds() >= expiry;
@@ -78,6 +86,41 @@ ssd::IoScheme HybridSlabManager::scheme_for_class(unsigned cls) const noexcept {
 void HybridSlabManager::unlink_ram_item(ItemHeader* item) {
   lru_[item->slab_class].remove(item);
   slabs_.deallocate(reinterpret_cast<char*>(item), item->slab_class);
+}
+
+void HybridSlabManager::retire_ram_item(ItemHeader* item) {
+  const unsigned cls = item->slab_class;
+  if (!config_.optimistic_reads) {
+    unlink_ram_item(item);
+    return;
+  }
+  lru_[cls].remove(item);
+  ++limbo_chunks_[cls];
+  limbo_.retire(
+      item, cls,
+      [](void* ctx, void* obj, std::uint64_t aux) {
+        auto* self = static_cast<HybridSlabManager*>(ctx);
+        const auto klass = static_cast<unsigned>(aux);
+        self->slabs_.deallocate(static_cast<char*>(obj), klass);
+        --self->limbo_chunks_[klass];
+      },
+      this);
+}
+
+ItemHeader* HybridSlabManager::lru_tail_victim(unsigned cls) {
+  int rescues = 0;
+  while (ItemHeader* tail = lru_[cls].tail()) {
+    if (rescues < 8 &&
+        tail->touched.exchange(0, std::memory_order_relaxed) != 0) {
+      // An optimistic GET read this item since the last sweep: second
+      // chance. Bounded so a fully-hot class still yields a victim.
+      lru_[cls].move_to_front(tail);
+      ++rescues;
+      continue;
+    }
+    return tail;
+  }
+  return nullptr;
 }
 
 void HybridSlabManager::release_record_locked(
@@ -103,10 +146,17 @@ void HybridSlabManager::note_io_failure_locked() {
 }
 
 bool HybridSlabManager::drop_one(unsigned cls) {
-  ItemHeader* victim = lru_[cls].tail();
+  ItemHeader* victim = lru_tail_victim(cls);
   if (victim == nullptr) return false;
   const std::string key(victim->key());
-  unlink_ram_item(victim);
+  Entry* entry = index_.find(key);
+  assert(entry != nullptr &&
+         entry->ram.load(std::memory_order_relaxed) == victim);
+  // Unpublish before retiring: a lock-free reader that already loaded the
+  // item pointer finishes safely (the chunk sits in limbo), and new readers
+  // see the entry empty.
+  if (entry != nullptr) entry->ram.store(nullptr, std::memory_order_release);
+  retire_ram_item(victim);
   index_.erase(key);
   ++stats_.dropped_evictions;
   return true;
@@ -128,7 +178,7 @@ bool HybridSlabManager::flush_batch(unsigned cls,
   std::vector<std::shared_ptr<SsdRecord>> records;
 
   const ssd::IoScheme scheme = scheme_for_class(cls);
-  while (ItemHeader* item = lru_[cls].tail()) {
+  while (ItemHeader* item = lru_tail_victim(cls)) {
     const std::size_t rec_size =
         SsdItemFraming::record_size(item->key_len, item->value_len);
     if (!victims.empty() &&
@@ -161,11 +211,12 @@ bool HybridSlabManager::flush_batch(unsigned cls,
     records.push_back(std::move(record));
     victims.push_back(Victim{std::string(item->key()), offset});
     // Detach the RAM presence before the chunk returns to the free list so
-    // the index never holds a dangling item pointer.
+    // the index never holds a dangling item pointer. Unpublish (release)
+    // first: a lock-free reader mid-copy keeps the chunk alive via limbo.
     Entry* entry = index_.find(victims.back().key);
-    assert(entry != nullptr && entry->ram == item);
-    entry->ram = nullptr;
-    unlink_ram_item(item);
+    assert(entry != nullptr && entry->ram.load(std::memory_order_relaxed) == item);
+    entry->ram.store(nullptr, std::memory_order_release);
+    retire_ram_item(item);
   }
 
   // 2. Reserve the SSD extent; on failure fall back to dropping the victims
@@ -193,7 +244,8 @@ bool HybridSlabManager::flush_batch(unsigned cls,
   for (std::size_t i = 0; i < victims.size(); ++i) {
     records[i]->extent = handle;
     Entry* entry = index_.find(victims[i].key);
-    assert(entry != nullptr && entry->ram == nullptr);
+    assert(entry != nullptr &&
+           entry->ram.load(std::memory_order_relaxed) == nullptr);
     if (entry != nullptr) entry->ssd = records[i];
   }
   ++stats_.flushes;
@@ -233,7 +285,8 @@ bool HybridSlabManager::flush_batch(unsigned cls,
     stats_.flushed_bytes -= staging.size();
     for (std::size_t i = 0; i < victims.size(); ++i) {
       Entry* entry = index_.find(victims[i].key);
-      if (entry != nullptr && entry->ram == nullptr &&
+      if (entry != nullptr &&
+          entry->ram.load(std::memory_order_relaxed) == nullptr &&
           entry->ssd == records[i]) {
         release_record_locked(records[i]);
         index_.erase(victims[i].key);
@@ -254,8 +307,20 @@ bool HybridSlabManager::flush_batch(unsigned cls,
 char* HybridSlabManager::allocate_with_reclaim(
     unsigned cls, std::unique_lock<std::mutex>& lock) {
   for (int attempt = 0; attempt < 4096; ++attempt) {
+    // Retired chunks whose epoch has passed are the cheapest source of
+    // memory: drain them before evicting or flushing anything live.
+    if (config_.optimistic_reads && !limbo_.empty()) limbo_.flush();
     char* chunk = slabs_.allocate(cls);
     if (chunk != nullptr) return chunk;
+    if (config_.optimistic_reads && limbo_chunks_[cls] > 0) {
+      // Chunks of this class are already unlinked, just waiting for readers
+      // to leave the epoch. Yield for them instead of evicting more data --
+      // read critical sections are short by contract.
+      lock.unlock();
+      std::this_thread::yield();
+      lock.lock();
+      continue;
+    }
     if (config_.mode == StorageMode::kInMemory) {
       if (!drop_one(cls)) return nullptr;
     } else if (stats_.degraded && sim::now() < heal_probe_at_) {
@@ -298,20 +363,26 @@ StatusCode HybridSlabManager::set(std::string_view key,
   {
     const auto check_start = SteadyClock::now();
     Entry* hot = index_.find(key);
-    if (hot != nullptr && hot->ram != nullptr && hot->ram->slab_class == cls &&
-        hot->ram->key_len == key.size()) {
-      ItemHeader* item = hot->ram;
+    ItemHeader* item =
+        hot != nullptr ? hot->ram.load(std::memory_order_relaxed) : nullptr;
+    if (item != nullptr && item->slab_class == cls &&
+        item->key_len == key.size()) {
       if (stages != nullptr) {
         stages->add(Stage::kCacheCheckLoad, SteadyClock::now() - check_start);
       }
       const auto update_start = SteadyClock::now();
-      item->value_len = static_cast<std::uint32_t>(value.size());
-      item->flags = flags;
-      item->expiry = expiry;
-      item->cas = cas_seq_++;
+      // Published item: optimistic readers may be copying it right now, so
+      // the in-place mutation runs under the seqlock bracket and every store
+      // is a relaxed atomic (tears are detected, never undefined).
+      const std::uint64_t even = seq_write_begin(item);
+      seq_store(item->value_len, static_cast<std::uint32_t>(value.size()));
+      seq_store(item->flags, flags);
+      seq_store(item->expiry, expiry);
+      seq_store(item->cas, cas_seq_++);
       if (!value.empty()) {
-        std::memcpy(item->value_data(), value.data(), value.size());
+        atomic_store_bytes(item->value_data(), value.data(), value.size());
       }
+      seq_write_end(item, even);
       lru_[cls].move_to_front(item);
       ++stats_.sets;
       if (stages != nullptr) {
@@ -334,22 +405,28 @@ StatusCode HybridSlabManager::set(std::string_view key,
   const auto check_start = SteadyClock::now();
   Entry* existing = index_.find(key);
   if (existing != nullptr) {
-    if (existing->ram != nullptr) unlink_ram_item(existing->ram);
+    ItemHeader* old = existing->ram.load(std::memory_order_relaxed);
+    if (old != nullptr) {
+      existing->ram.store(nullptr, std::memory_order_release);
+      retire_ram_item(old);
+    }
     if (existing->ssd != nullptr) release_record_locked(existing->ssd);
   }
   if (stages != nullptr) {
     stages->add(Stage::kCacheCheckLoad, SteadyClock::now() - check_start);
   }
 
-  // Cache update: format the item, (re)index it, promote to LRU head.
+  // Cache update: format the item, (re)index it, promote to LRU head. The
+  // release publication store makes the plain format_item writes visible to
+  // lock-free readers.
   const auto update_start = SteadyClock::now();
   ItemHeader* item = format_item(chunk, key, value, flags, expiry, cls);
   item->cas = cas_seq_++;
   if (existing != nullptr) {
-    existing->ram = item;
     existing->ssd.reset();
+    existing->ram.store(item, std::memory_order_release);
   } else {
-    index_.upsert(key, Entry{.ram = item, .ssd = nullptr});
+    index_.upsert(key, Entry{item, nullptr});
   }
   lru_[cls].push_front(item);
   ++stats_.sets;
@@ -362,8 +439,71 @@ StatusCode HybridSlabManager::set(std::string_view key,
 StatusCode HybridSlabManager::get(std::string_view key, std::vector<char>& out,
                                   std::uint32_t& flags,
                                   StageBreakdown* stages) {
+  if (config_.optimistic_reads) {
+    // The modelled per-op CPU cost is realised *outside* any lock here: on
+    // the optimistic design the hash/copy work genuinely runs without the
+    // shard lock, which is exactly the contention the ablation measures.
+    if (config_.modelled_op_cost.count() > 0) {
+      sim::advance_coarse(config_.modelled_op_cost);
+    }
+    if (try_optimistic_get(key, out, flags, nullptr)) return StatusCode::kOk;
+    opt_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    return get_locked(key, out, flags, stages, /*pay_modelled_cost=*/false);
+  }
+  return get_locked(key, out, flags, stages, /*pay_modelled_cost=*/true);
+}
+
+bool HybridSlabManager::try_optimistic_get(std::string_view key,
+                                           std::vector<char>& out,
+                                           std::uint32_t& flags,
+                                           std::uint64_t* cas_out) {
+  constexpr int kAttempts = 4;
+  // Pin the epoch for the whole lookup: every pointer loaded below (hash
+  // nodes, the entry, the item chunk) stays allocated until the guard drops,
+  // however many writers unlink/retire concurrently.
+  epoch::Domain::Guard guard(epoch::global());
+  if (!guard.engaged()) return false;  // reader slots exhausted: locked path
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    const Entry* entry = index_.find_optimistic(key);
+    if (entry == nullptr) return false;  // miss: locked path is authoritative
+    ItemHeader* item = entry->ram.load(std::memory_order_acquire);
+    if (item == nullptr) return false;   // SSD-resident / being relocated
+    const std::uint64_t v1 = item->version.load(std::memory_order_acquire);
+    if ((v1 & 1u) != 0) {  // writer mid-mutation
+      opt_retries_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const auto value_len = seq_load(item->value_len);
+    const auto item_flags = seq_load(item->flags);
+    const auto item_expiry = seq_load(item->expiry);
+    const auto item_cas = seq_load(item->cas);
+    out.resize(value_len);
+    atomic_load_bytes(out.data(), item->value_data(), value_len);
+    // Fence-free validation: the acquire data loads above cannot be
+    // reordered past this re-check (see common/atomic_bytes.hpp).
+    if (item->version.load(std::memory_order_relaxed) != v1) {
+      opt_retries_.fetch_add(1, std::memory_order_relaxed);
+      continue;  // torn: a writer overlapped the copy
+    }
+    if (expired(item_expiry)) return false;  // locked path reaps + counts it
+    flags = item_flags;
+    if (cas_out != nullptr) *cas_out = item_cas;
+    // LRU recency without the lock: flag the item; eviction grants flagged
+    // tails a second chance (lru_tail_victim).
+    item->touched.store(1, std::memory_order_relaxed);
+    opt_hits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;  // persistent churn on this key: serialise with the writers
+}
+
+StatusCode HybridSlabManager::get_locked(std::string_view key,
+                                         std::vector<char>& out,
+                                         std::uint32_t& flags,
+                                         StageBreakdown* stages,
+                                         bool pay_modelled_cost) {
   std::unique_lock lock(mu_);
-  if (config_.modelled_op_cost.count() > 0) {
+  if (pay_modelled_cost && config_.modelled_op_cost.count() > 0) {
     sim::advance_coarse(config_.modelled_op_cost);  // modelled under-lock CPU work
   }
   const auto check_start = SteadyClock::now();
@@ -381,10 +521,10 @@ StatusCode HybridSlabManager::get(std::string_view key, std::vector<char>& out,
   }
 
   // RAM hit.
-  if (entry->ram != nullptr) {
-    ItemHeader* item = entry->ram;
+  if (ItemHeader* item = entry->ram.load(std::memory_order_relaxed)) {
     if (expired(item->expiry)) {
-      unlink_ram_item(item);
+      entry->ram.store(nullptr, std::memory_order_release);
+      retire_ram_item(item);
       index_.erase(key);
       ++stats_.expired;
       ++stats_.misses;
@@ -424,7 +564,8 @@ StatusCode HybridSlabManager::get(std::string_view key, std::vector<char>& out,
     charge_check();
     lock.lock();
     Entry* current = index_.find(key);
-    if (current != nullptr && current->ram == nullptr &&
+    if (current != nullptr &&
+        current->ram.load(std::memory_order_relaxed) == nullptr &&
         current->ssd == record) {
       release_record_locked(record);
       index_.erase(key);
@@ -492,8 +633,11 @@ StatusCode HybridSlabManager::get(std::string_view key, std::vector<char>& out,
         if (stages != nullptr) {
           stages->add(Stage::kSlabAllocation, SteadyClock::now() - alloc_start);
         }
-      } else if (slabs_.can_allocate(cls)) {
-        chunk = slabs_.allocate(cls);
+      } else {
+        // Epoch-expired chunks are free memory in waiting: drain them so an
+        // opportunistic promotion isn't refused while RAM is available.
+        if (config_.optimistic_reads && !limbo_.empty()) limbo_.flush();
+        if (slabs_.can_allocate(cls)) chunk = slabs_.allocate(cls);
       }
     }
     if (chunk != nullptr) {
@@ -505,8 +649,8 @@ StatusCode HybridSlabManager::get(std::string_view key, std::vector<char>& out,
             format_item(chunk, key, out, record->flags, record->expiry, cls);
         item->cas = record->cas;  // promotion is relocation, not mutation
         release_record_locked(current->ssd);
-        current->ram = item;
         current->ssd.reset();
+        current->ram.store(item, std::memory_order_release);
         lru_[cls].push_front(item);
         ++stats_.promotions;
       } else {
@@ -623,9 +767,11 @@ StatusCode HybridSlabManager::touch(std::string_view key,
   if (entry == nullptr) return StatusCode::kNotFound;
   const std::int64_t expiry =
       expiration == 0 ? 0 : steady_seconds() + expiration;
-  if (entry->ram != nullptr) {
-    if (expired(entry->ram->expiry)) return StatusCode::kNotFound;
-    entry->ram->expiry = expiry;
+  if (ItemHeader* item = entry->ram.load(std::memory_order_relaxed)) {
+    if (expired(item->expiry)) return StatusCode::kNotFound;
+    // Single aligned field: a bare relaxed-atomic store suffices (a
+    // concurrent optimistic read of the old expiry linearises before).
+    seq_store(item->expiry, expiry);
     return StatusCode::kOk;
   }
   if (entry->ssd != nullptr) {
@@ -638,8 +784,8 @@ StatusCode HybridSlabManager::touch(std::string_view key,
 
 std::uint64_t HybridSlabManager::current_cas_locked(const Entry* entry) const {
   if (entry == nullptr) return 0;
-  if (entry->ram != nullptr) {
-    return expired(entry->ram->expiry) ? 0 : entry->ram->cas;
+  if (const ItemHeader* item = entry->ram.load(std::memory_order_relaxed)) {
+    return expired(item->expiry) ? 0 : item->cas;
   }
   if (entry->ssd != nullptr) {
     return expired(entry->ssd->expiry) ? 0 : entry->ssd->cas;
@@ -650,19 +796,41 @@ std::uint64_t HybridSlabManager::current_cas_locked(const Entry* entry) const {
 StatusCode HybridSlabManager::gets(std::string_view key, std::vector<char>& out,
                                    std::uint32_t& flags, std::uint64_t& cas,
                                    StageBreakdown* stages) {
+  if (config_.optimistic_reads) {
+    if (config_.modelled_op_cost.count() > 0) {
+      sim::advance_coarse(config_.modelled_op_cost);
+    }
+    // The seqlock bracket snapshots (value, flags, cas) atomically, so the
+    // CAS token always matches the returned bytes -- the same guarantee the
+    // locked path gets from holding the mutex.
+    if (try_optimistic_get(key, out, flags, &cas)) return StatusCode::kOk;
+    opt_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    return gets_locked(key, out, flags, cas, stages,
+                       /*pay_modelled_cost=*/false);
+  }
+  return gets_locked(key, out, flags, cas, stages, /*pay_modelled_cost=*/true);
+}
+
+StatusCode HybridSlabManager::gets_locked(std::string_view key,
+                                          std::vector<char>& out,
+                                          std::uint32_t& flags,
+                                          std::uint64_t& cas,
+                                          StageBreakdown* stages,
+                                          bool pay_modelled_cost) {
   {
     const std::scoped_lock lock(mu_);
     cas = current_cas_locked(index_.find(key));
   }
   if (cas == 0) {
     std::uint32_t unused = 0;
-    (void)get(key, out, unused, stages);  // counts the miss consistently
+    // Counts the miss consistently.
+    (void)get_locked(key, out, unused, stages, pay_modelled_cost);
     return StatusCode::kNotFound;
   }
   // The value matching this CAS token: any interleaved overwrite bumps the
   // version, so a stale read here simply fails the subsequent cas() -- the
   // exact guarantee memcached provides.
-  return get(key, out, flags, stages);
+  return get_locked(key, out, flags, stages, pay_modelled_cost);
 }
 
 StatusCode HybridSlabManager::cas(std::string_view key,
@@ -683,17 +851,20 @@ StatusCode HybridSlabManager::cas(std::string_view key,
   if (current == 0) return StatusCode::kNotFound;
   if (current != expected_cas) return StatusCode::kNotStored;  // EXISTS
 
-  // In-place path (same class): check and store under one lock hold.
-  if (entry->ram != nullptr && entry->ram->slab_class == cls &&
-      entry->ram->key_len == key.size()) {
-    ItemHeader* item = entry->ram;
-    item->value_len = static_cast<std::uint32_t>(value.size());
-    item->flags = flags;
-    item->expiry = expiry;
-    item->cas = cas_seq_++;
+  // In-place path (same class): check and store under one lock hold. The
+  // seqlock bracket keeps concurrent optimistic readers torn-free.
+  if (ItemHeader* item = entry->ram.load(std::memory_order_relaxed);
+      item != nullptr && item->slab_class == cls &&
+      item->key_len == key.size()) {
+    const std::uint64_t even = seq_write_begin(item);
+    seq_store(item->value_len, static_cast<std::uint32_t>(value.size()));
+    seq_store(item->flags, flags);
+    seq_store(item->expiry, expiry);
+    seq_store(item->cas, cas_seq_++);
     if (!value.empty()) {
-      std::memcpy(item->value_data(), value.data(), value.size());
+      atomic_store_bytes(item->value_data(), value.data(), value.size());
     }
+    seq_write_end(item, even);
     lru_[cls].move_to_front(item);
     ++stats_.sets;
     return StatusCode::kOk;
@@ -709,12 +880,15 @@ StatusCode HybridSlabManager::cas(std::string_view key,
     slabs_.deallocate(chunk, cls);
     return current == 0 ? StatusCode::kNotFound : StatusCode::kNotStored;
   }
-  if (entry->ram != nullptr) unlink_ram_item(entry->ram);
+  if (ItemHeader* old = entry->ram.load(std::memory_order_relaxed)) {
+    entry->ram.store(nullptr, std::memory_order_release);
+    retire_ram_item(old);
+  }
   if (entry->ssd != nullptr) release_record_locked(entry->ssd);
   ItemHeader* item = format_item(chunk, key, value, flags, expiry, cls);
   item->cas = cas_seq_++;
-  entry->ram = item;
   entry->ssd.reset();
+  entry->ram.store(item, std::memory_order_release);
   lru_[cls].push_front(item);
   ++stats_.sets;
   (void)stages;
@@ -725,7 +899,10 @@ StatusCode HybridSlabManager::del(std::string_view key) {
   const std::scoped_lock lock(mu_);
   Entry* entry = index_.find(key);
   if (entry == nullptr) return StatusCode::kNotFound;
-  if (entry->ram != nullptr) unlink_ram_item(entry->ram);
+  if (ItemHeader* item = entry->ram.load(std::memory_order_relaxed)) {
+    entry->ram.store(nullptr, std::memory_order_release);
+    retire_ram_item(item);
+  }
   if (entry->ssd != nullptr) release_record_locked(entry->ssd);
   index_.erase(key);
   ++stats_.deletes;
@@ -736,16 +913,23 @@ bool HybridSlabManager::exists(std::string_view key) const {
   const std::scoped_lock lock(mu_);
   const Entry* entry = index_.find(key);
   if (entry == nullptr) return false;
-  if (entry->ram != nullptr) return !expired(entry->ram->expiry);
+  if (const ItemHeader* item = entry->ram.load(std::memory_order_relaxed)) {
+    return !expired(item->expiry);
+  }
   return entry->ssd != nullptr && !expired(entry->ssd->expiry);
 }
 
 void HybridSlabManager::clear() {
   const std::scoped_lock lock(mu_);
   index_.for_each([&](std::string_view, Entry& entry) {
-    if (entry.ram != nullptr) unlink_ram_item(entry.ram);
-    if (entry.ssd != nullptr) release_record_locked(entry.ssd);
-    entry = Entry{};
+    if (ItemHeader* item = entry.ram.load(std::memory_order_relaxed)) {
+      entry.ram.store(nullptr, std::memory_order_release);
+      retire_ram_item(item);
+    }
+    if (entry.ssd != nullptr) {
+      release_record_locked(entry.ssd);
+      entry.ssd.reset();
+    }
   });
   index_.clear();
 }
@@ -759,6 +943,13 @@ ManagerStats HybridSlabManager::stats() const {
   const std::scoped_lock lock(mu_);
   ManagerStats out = stats_;
   out.degraded_shards = stats_.degraded ? 1 : 0;
+  // Optimistic GETs never touch mu_ or stats_; fold their counters in here.
+  // An optimistic hit IS a RAM hit, so ram_hits stays the all-paths total.
+  const std::uint64_t hits = opt_hits_.load(std::memory_order_relaxed);
+  out.optimistic_hits = hits;
+  out.optimistic_retries = opt_retries_.load(std::memory_order_relaxed);
+  out.locked_fallbacks = opt_fallbacks_.load(std::memory_order_relaxed);
+  out.ram_hits += hits;
   return out;
 }
 

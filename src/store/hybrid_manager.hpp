@@ -24,6 +24,7 @@
 // extent whose write-back is still in flight wait on the extent's ready flag.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -32,6 +33,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/epoch.hpp"
 #include "common/sim_time.hpp"
 #include "common/stage.hpp"
 #include "common/status.hpp"
@@ -87,6 +89,11 @@ struct ManagerConfig {
   /// holders of the same lock serialise -- the contention being modelled.
   /// 0 (default) = off; no behaviour change.
   sim::Nanos modelled_op_cost{0};
+  /// Non-blocking read path: RAM-resident GETs run lock-free (seqlock
+  /// validation + epoch-based reclamation) and fall back to the locked path
+  /// on conflict/miss/SSD residency. Results are byte-identical either way;
+  /// off restores the pre-optimistic, strictly-locked behaviour.
+  bool optimistic_reads = true;
 };
 
 struct ManagerStats {
@@ -106,6 +113,9 @@ struct ManagerStats {
   std::uint64_t io_errors = 0;        ///< SSD accesses that failed (kIoError).
   bool degraded = false;              ///< RAM-only mode (SSD deemed unhealthy).
   std::uint32_t degraded_shards = 0;  ///< Shards currently degraded (<= shard count).
+  std::uint64_t optimistic_hits = 0;  ///< GETs served lock-free (RAM seqlock).
+  std::uint64_t optimistic_retries = 0;///< Seqlock validation conflicts retried.
+  std::uint64_t locked_fallbacks = 0; ///< GETs that fell back to the locked path.
 
   /// Accumulates `other` into this (counter sums; degraded ORs). Used by the
   /// sharded facade and the testbed to aggregate per-shard / per-server stats.
@@ -126,6 +136,9 @@ struct ManagerStats {
     io_errors += other.io_errors;
     degraded = degraded || other.degraded;
     degraded_shards += other.degraded_shards;
+    optimistic_hits += other.optimistic_hits;
+    optimistic_retries += other.optimistic_retries;
+    locked_fallbacks += other.locked_fallbacks;
   }
 };
 
@@ -240,9 +253,37 @@ class HybridSlabManager {
     ssd::IoScheme scheme = ssd::IoScheme::kDirect;
   };
 
+  /// Index value. `ram` is atomically published so optimistic readers can
+  /// load it without the shard lock: the writer's release store makes the
+  /// formatted item bytes visible, and nulling it (flush/evict/delete)
+  /// precedes retirement through the epoch limbo. `ssd` is writer-only --
+  /// the optimistic path never touches it (SSD hits always fall back).
+  /// Copyable because HashMap clones entries on growth; copies snapshot the
+  /// ram pointer (relaxed is enough: the publishing table store orders it).
   struct Entry {
-    ItemHeader* ram = nullptr;
+    std::atomic<ItemHeader*> ram{nullptr};
     std::shared_ptr<SsdRecord> ssd;
+
+    Entry() = default;
+    Entry(ItemHeader* r, std::shared_ptr<SsdRecord> s)
+        : ram(r), ssd(std::move(s)) {}
+    Entry(const Entry& other)
+        : ram(other.ram.load(std::memory_order_relaxed)), ssd(other.ssd) {}
+    Entry(Entry&& other) noexcept
+        : ram(other.ram.load(std::memory_order_relaxed)),
+          ssd(std::move(other.ssd)) {}
+    Entry& operator=(const Entry& other) {
+      ram.store(other.ram.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+      ssd = other.ssd;
+      return *this;
+    }
+    Entry& operator=(Entry&& other) noexcept {
+      ram.store(other.ram.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+      ssd = std::move(other.ssd);
+      return *this;
+    }
   };
 
   /// Allocates a chunk, evicting (in-memory) or flushing (hybrid) as needed.
@@ -258,6 +299,35 @@ class HybridSlabManager {
   bool drop_one(unsigned cls);
 
   void unlink_ram_item(ItemHeader* item);
+
+  /// Unlinks a *published* RAM item and defers its chunk to the epoch limbo
+  /// (a lock-free reader may still be copying it); with optimistic reads off
+  /// this is plain unlink_ram_item. Caller must hold mu_ and must already
+  /// have unpublished the entry's ram pointer.
+  void retire_ram_item(ItemHeader* item);
+
+  /// LRU-tail victim of `cls` with CLOCK-style second chances: tails whose
+  /// `touched` flag is set (an optimistic GET read them recently) are rescued
+  /// to the front (bounded per call) instead of returned. nullptr when empty.
+  ItemHeader* lru_tail_victim(unsigned cls);
+
+  /// Lock-free GET attempt: epoch-guarded bucket walk + seqlock-validated
+  /// copy. True only on a RAM hit whose bytes validated; every other outcome
+  /// (miss, expired, SSD-resident, version churn, guard exhaustion) returns
+  /// false and the caller takes the locked path for the authoritative
+  /// answer. `cas_out` may be nullptr (plain get).
+  bool try_optimistic_get(std::string_view key, std::vector<char>& out,
+                          std::uint32_t& flags, std::uint64_t* cas_out);
+
+  /// The pre-optimistic locked paths; `pay_modelled_cost` is false when the
+  /// caller already realised modelled_op_cost before falling back.
+  StatusCode get_locked(std::string_view key, std::vector<char>& out,
+                        std::uint32_t& flags, StageBreakdown* stages,
+                        bool pay_modelled_cost);
+  StatusCode gets_locked(std::string_view key, std::vector<char>& out,
+                         std::uint32_t& flags, std::uint64_t& cas,
+                         StageBreakdown* stages, bool pay_modelled_cost);
+
   [[nodiscard]] ssd::IoScheme scheme_for_class(unsigned cls) const noexcept;
   [[nodiscard]] bool expired(std::int64_t expiry) const noexcept;
   void release_record_locked(const std::shared_ptr<SsdRecord>& record);
@@ -281,6 +351,20 @@ class HybridSlabManager {
   ManagerStats stats_;
   unsigned consecutive_io_errors_ = 0;  ///< Streak driving degradation.
   sim::TimePoint heal_probe_at_{};      ///< Next half-open flush attempt.
+
+  /// Chunks of each slab class sitting in limbo_: reclaim prefers waiting
+  /// for these over evicting more items when allocation stalls. Declared
+  /// before limbo_ so it outlives limbo_'s destructor-time callbacks.
+  std::vector<std::uint32_t> limbo_chunks_;
+  /// Deferred-free list for chunks/nodes still visible to lock-free readers.
+  /// Accessed only under mu_ (Limbo is not thread-safe).
+  epoch::Limbo limbo_{epoch::global()};
+
+  // Read-path counters: relaxed atomics because the optimistic path must not
+  // touch mu_; folded into stats() output.
+  std::atomic<std::uint64_t> opt_hits_{0};
+  std::atomic<std::uint64_t> opt_retries_{0};
+  std::atomic<std::uint64_t> opt_fallbacks_{0};
 };
 
 /// Seconds on the steady clock -- the manager's expiry time base.

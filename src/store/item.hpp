@@ -3,13 +3,26 @@
 // An item occupies one slab chunk: a fixed ItemHeader followed by the key
 // bytes and the value bytes. The header embeds the LRU links (like
 // memcached's it_prev/it_next) so promotion/eviction never allocates.
+//
+// Concurrency: a published item (reachable through the index) may be read by
+// lock-free optimistic GETs while the shard lock holder mutates it in place.
+// The header therefore carries a seqlock `version` (odd = mutation in
+// progress) and every in-place field/byte write goes through the
+// seq_write_begin/end bracket with relaxed-atomic stores (common/
+// atomic_bytes.hpp). Fields that never change after publication (key bytes,
+// key_len, slab_class) and items not yet published stay plain. `touched` is
+// the optimistic path's LRU recency hint: readers set it lock-free, eviction
+// grants a second chance instead of taking a recently-read tail victim.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <new>
 #include <span>
 #include <string_view>
+
+#include "common/atomic_bytes.hpp"
 
 namespace hykv::store {
 
@@ -22,6 +35,12 @@ struct ItemHeader {
   std::uint32_t slab_class = 0;
   std::int64_t expiry = 0;   ///< Absolute seconds (steady); 0 = never.
   std::uint64_t cas = 0;     ///< Version stamp for check-and-set.
+  /// Seqlock word: odd while the lock holder mutates the item in place;
+  /// optimistic readers retry/fall back on odd or changed versions.
+  std::atomic<std::uint64_t> version{0};
+  /// Set (relaxed) by optimistic GETs instead of an LRU move; consumed by
+  /// eviction as a CLOCK-style second chance.
+  std::atomic<std::uint8_t> touched{0};
 
   [[nodiscard]] char* key_data() noexcept {
     return reinterpret_cast<char*>(this) + sizeof(ItemHeader);
@@ -49,6 +68,8 @@ constexpr std::size_t item_total_size(std::size_t key_len,
 }
 
 /// Formats an item into a chunk the caller obtained from the allocator.
+/// Plain stores: the item is unpublished, so no reader can race them -- the
+/// publishing release-store (entry->ram) orders them for later readers.
 inline ItemHeader* format_item(char* chunk, std::string_view key,
                                std::span<const char> value, std::uint32_t flags,
                                std::int64_t expiry, unsigned slab_class) {
@@ -63,6 +84,36 @@ inline ItemHeader* format_item(char* chunk, std::string_view key,
     std::memcpy(item->value_data(), value.data(), value.size());
   }
   return item;
+}
+
+// ---------------------------------------------------------------------------
+// Seqlock write bracket (writer holds the shard lock; readers are lock-free).
+//
+// Writer:   even = seq_write_begin(item);     // version odd
+//           seq_store(...) / atomic_store_bytes(...)   // release stores
+//           seq_write_end(item, even);        // version even again (release)
+// Reader:   v1 = version.load(acquire); if odd retry
+//           seq_load(...) / atomic_load_bytes(...)     // acquire loads
+//           v2 = version.load(relaxed); valid iff v1 == v2
+//
+// This is the fence-free seqlock (common/atomic_bytes.hpp explains why no
+// atomic_thread_fence: TSan cannot model fences). Each *release* data store
+// keeps the preceding odd store ordered before it — a reader that observes
+// any mid-mutation data then observes an odd/changed version and retries.
+// Each *acquire* data load keeps the reader's validating v2 load ordered
+// after it, and the release even-store orders the data stores before it, so
+// a reader whose v1 == v2 == even copied a consistent snapshot.
+
+/// Marks the item as mid-mutation. Returns the even version to publish via
+/// seq_write_end once the data stores are done.
+[[nodiscard]] inline std::uint64_t seq_write_begin(ItemHeader* item) noexcept {
+  const std::uint64_t v = item->version.load(std::memory_order_relaxed);
+  item->version.store(v + 1, std::memory_order_relaxed);
+  return v + 2;
+}
+
+inline void seq_write_end(ItemHeader* item, std::uint64_t even) noexcept {
+  item->version.store(even, std::memory_order_release);
 }
 
 /// Intrusive doubly-linked LRU: front = most recently used. One list per

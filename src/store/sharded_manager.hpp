@@ -24,7 +24,13 @@
 //                     concurrent set to an already-cleared shard survives,
 //                     same as memcached's flush_all vs racing sets),
 //   stats()        -- per-shard counter sums; `degraded` is true when ANY
-//                     shard is degraded and `degraded_shards` counts them,
+//                     shard is degraded and `degraded_shards` counts them.
+//                     The read-path counters (optimistic_hits /
+//                     optimistic_retries / locked_fallbacks) also sum, and
+//                     each shard folds its optimistic hits into ram_hits, so
+//                     the aggregate invariant "every GET is exactly one of
+//                     {optimistic_hits, locked_fallbacks}" (with
+//                     optimistic_reads on) holds across the facade too,
 //   item_count()   -- sum of per-shard index sizes,
 //   slab_stats()   -- per-shard arena sums.
 // Degraded (RAM-only) mode remains a per-shard property: a shard whose

@@ -106,6 +106,7 @@ WorkloadConfig ycsb_preset(char preset, std::uint64_t key_count,
     case 'A': cfg.read_fraction = 0.5; break;
     case 'B': cfg.read_fraction = 0.95; break;
     case 'C': cfg.read_fraction = 1.0; break;
+    case 'R': cfg.read_fraction = 0.99; break;
     case 'U':
       cfg.read_fraction = 0.5;
       cfg.pattern = Pattern::kUniform;

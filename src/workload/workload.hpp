@@ -81,7 +81,9 @@ struct WorkloadResult {
 /// YCSB core-workload presets over the paper's micro-benchmark engine
 /// (Section VI-A cites YCSB as the pattern source):
 ///   'A' update-heavy 50:50 Zipf, 'B' read-mostly 95:5 Zipf,
-///   'C' read-only Zipf, 'U' uniform 50:50 (the paper's Uniform pattern).
+///   'C' read-only Zipf, 'R' read-dominant 99:1 Zipf (the GET-heavy mix the
+///   non-blocking read path targets), 'U' uniform 50:50 (the paper's
+///   Uniform pattern).
 WorkloadConfig ycsb_preset(char preset, std::uint64_t key_count,
                            std::size_t value_bytes, std::uint64_t operations);
 

@@ -1,0 +1,181 @@
+// Epoch-based reclamation: pin/advance semantics, limbo free timing, guard
+// nesting, slot exhaustion, and the multi-threaded pin/retire race.
+#include "common/epoch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace hykv::epoch {
+namespace {
+
+TEST(EpochDomainTest, AdvanceBlockedExactlyWhileReaderPinsPriorEpoch) {
+  Domain domain;
+  const std::uint64_t start = domain.current();
+  {
+    Domain::Guard guard(domain);
+    ASSERT_TRUE(guard.engaged());
+    EXPECT_EQ(domain.active_readers(), 1u);
+    // The reader pinned `start`, so one advance (to start+1) succeeds --
+    // every active reader has observed `start` -- but the next one must
+    // fail: the reader is still pinned to start < start+1.
+    EXPECT_TRUE(domain.try_advance());
+    EXPECT_EQ(domain.current(), start + 1);
+    EXPECT_FALSE(domain.try_advance());
+    EXPECT_EQ(domain.current(), start + 1);
+  }
+  EXPECT_EQ(domain.active_readers(), 0u);
+  EXPECT_TRUE(domain.try_advance());
+  EXPECT_EQ(domain.current(), start + 2);
+}
+
+TEST(EpochDomainTest, GuardsNestWithinAThread) {
+  Domain domain;
+  Domain::Guard outer(domain);
+  ASSERT_TRUE(outer.engaged());
+  {
+    Domain::Guard inner(domain);
+    ASSERT_TRUE(inner.engaged());
+    EXPECT_EQ(domain.active_readers(), 1u);  // one slot, depth 2
+  }
+  EXPECT_EQ(domain.active_readers(), 1u);  // outer still pinned
+}
+
+TEST(EpochDomainTest, ExhaustedSlotsDisengageInsteadOfBlocking) {
+  Domain tiny(2);
+  std::atomic<int> engaged{0};
+  std::atomic<int> disengaged{0};
+  std::atomic<bool> hold{true};
+  std::vector<std::thread> threads;
+  std::atomic<int> pinned{0};
+  for (int i = 0; i < 3; ++i) {
+    threads.emplace_back([&] {
+      Domain::Guard guard(tiny);
+      if (guard.engaged()) {
+        ++engaged;
+        ++pinned;
+        while (hold.load()) std::this_thread::yield();
+      } else {
+        ++disengaged;
+      }
+    });
+  }
+  while (pinned.load() < 2 && disengaged.load() < 1) std::this_thread::yield();
+  // Give the third thread time to resolve whichever way it lands.
+  while (engaged.load() + disengaged.load() < 3) std::this_thread::yield();
+  hold.store(false);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(engaged.load(), 2);
+  EXPECT_EQ(disengaged.load(), 1);
+}
+
+TEST(EpochLimboTest, RetiredObjectSurvivesPinnedReaderAndFreesAfter) {
+  Domain domain;
+  Limbo limbo(domain);
+  bool freed = false;
+  {
+    Domain::Guard guard(domain);
+    ASSERT_TRUE(guard.engaged());
+    limbo.retire(
+        &freed, 0,
+        [](void*, void* obj, std::uint64_t) { *static_cast<bool*>(obj) = true; },
+        nullptr);
+    // However often the owner flushes, a pinned reader from the retire epoch
+    // keeps the object alive.
+    for (int i = 0; i < 5; ++i) limbo.flush();
+    EXPECT_FALSE(freed);
+    EXPECT_EQ(limbo.size(), 1u);
+  }
+  // Reader gone: one flush (advancing twice) reclaims it.
+  EXPECT_EQ(limbo.flush(), 1u);
+  EXPECT_TRUE(freed);
+  EXPECT_TRUE(limbo.empty());
+}
+
+TEST(EpochLimboTest, FlushAllFreesUnconditionally) {
+  Domain domain;
+  Limbo limbo(domain);
+  int freed = 0;
+  for (int i = 0; i < 4; ++i) {
+    limbo.retire(
+        &freed, 0,
+        [](void*, void* obj, std::uint64_t) { ++*static_cast<int*>(obj); },
+        nullptr);
+  }
+  EXPECT_EQ(limbo.flush_all(), 4u);
+  EXPECT_EQ(freed, 4);
+}
+
+TEST(EpochLimboTest, RetireDeleteReclaimsHeapObjects) {
+  Domain domain;
+  Limbo limbo(domain);
+  struct Tracked {
+    explicit Tracked(int* c) : counter(c) {}
+    ~Tracked() { ++*counter; }
+    int* counter;
+  };
+  int destroyed = 0;
+  limbo.retire_delete(new Tracked(&destroyed));
+  limbo.retire_delete(new Tracked(&destroyed));
+  EXPECT_EQ(limbo.flush(), 2u);  // quiescent domain reclaims in one call
+  EXPECT_EQ(destroyed, 2);
+}
+
+TEST(EpochStressTest, ConcurrentReadersNeverSeeFreedMemory) {
+  // Writers publish heap objects, unlink them, retire them through limbo;
+  // readers chase the published pointer under a guard and validate a
+  // self-consistency invariant. Run under ASan/TSan this is the actual
+  // correctness proof; the EXPECT below is a liveness sanity check.
+  struct Boxed {
+    std::uint64_t a;
+    std::uint64_t b;  // always == ~a
+  };
+  Domain domain;
+  std::atomic<Boxed*> published{nullptr};
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> validated{0};
+
+  std::thread writer([&] {
+    Limbo limbo(domain);
+    for (std::uint64_t i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+      auto* fresh = new Boxed{i, ~i};
+      Boxed* old = published.exchange(fresh, std::memory_order_acq_rel);
+      if (old != nullptr) limbo.retire_delete(old);
+      limbo.flush();
+    }
+    if (Boxed* last = published.exchange(nullptr)) limbo.retire_delete(last);
+    // Readers may still be draining their final guarded access; flush_all
+    // would free under them. Drain epoch-safely instead.
+    while (!limbo.empty()) {
+      limbo.flush();
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        Domain::Guard guard(domain);
+        if (!guard.engaged()) continue;
+        const Boxed* box = published.load(std::memory_order_acquire);
+        if (box == nullptr) continue;
+        // The guard (entered before the load) keeps `box` alive even if the
+        // writer retires it right now.
+        ASSERT_EQ(box->b, ~box->a);
+        validated.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  while (validated.load() < 5000) std::this_thread::yield();
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  writer.join();
+  EXPECT_GE(validated.load(), 5000u);
+}
+
+}  // namespace
+}  // namespace hykv::epoch

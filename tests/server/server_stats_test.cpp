@@ -50,6 +50,9 @@ store::ManagerStats maximal_store_stats() {
   s.ssd_hits = kMax;
   s.misses = kMax;
   s.expired = kMax;
+  s.optimistic_hits = kMax;
+  s.optimistic_retries = kMax;
+  s.locked_fallbacks = kMax;
   s.flushes = kMax;
   s.flushed_bytes = kMax;
   s.promotions = kMax;
@@ -81,7 +84,8 @@ TEST(RenderStatsTest, MaximalCountersRenderCompletelyAndWellFormed) {
   for (const char* name :
        {"requests", "sets", "gets", "deletes", "touches", "admin", "malformed",
         "shed", "expired_on_arrival",
-        "items", "ram_hits", "ssd_hits", "misses", "expired", "flushes",
+        "items", "ram_hits", "ssd_hits", "misses", "expired",
+        "optimistic_hits", "optimistic_retries", "locked_fallbacks", "flushes",
         "flushed_bytes", "promotions", "dropped_evictions", "ssd_live_bytes",
         "io_errors", "degraded", "degraded_shards", "shards", "slab_pages",
         "slab_reserved_bytes", "slab_used_chunks"}) {
@@ -105,7 +109,7 @@ TEST(RenderStatsTest, MaximalCountersRenderCompletelyAndWellFormed) {
     EXPECT_EQ(value.find_first_not_of("0123456789"), std::string::npos) << line;
     ++count;
   }
-  EXPECT_EQ(count, 26u);
+  EXPECT_EQ(count, 29u);
 }
 
 TEST(RenderStatsTest, ZeroCountersRenderAllLines) {

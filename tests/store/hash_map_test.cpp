@@ -48,7 +48,11 @@ TEST(HashMapTest, GrowsPastInitialBuckets) {
 
 TEST(HashMapTest, ForEachVisitsEverything) {
   HashMap<int> map;
-  for (int i = 0; i < 100; ++i) map.upsert("k" + std::to_string(i), i);
+  // (std::string{"k"} rather than "k" + ...: GCC 12's -Wrestrict false
+  // positive, bug 105329, fires on the const char* + rvalue overload.)
+  for (int i = 0; i < 100; ++i) {
+    map.upsert(std::string("k").append(std::to_string(i)), i);
+  }
   int visits = 0;
   long sum = 0;
   map.for_each([&](std::string_view, int& v) {
@@ -57,6 +61,46 @@ TEST(HashMapTest, ForEachVisitsEverything) {
   });
   EXPECT_EQ(visits, 100);
   EXPECT_EQ(sum, 99 * 100 / 2);
+}
+
+TEST(HashMapTest, OverwriteNeverGrows) {
+  // Regression: upsert used to call maybe_grow() before checking whether the
+  // key already existed, so a steady stream of overwrites at high load
+  // factor kept rehashing the table for nothing. Growth must happen only
+  // when an insert actually raises the load factor.
+  HashMap<int> map(16);
+  const std::size_t initial = map.bucket_count();
+  // 24 keys on 16 buckets = load factor 1.5, exactly the grow threshold.
+  for (int i = 0; i < 24; ++i) {
+    map.upsert(make_key(static_cast<std::uint64_t>(i)), i);
+  }
+  ASSERT_EQ(map.bucket_count(), initial);
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 24; ++i) {
+      map.upsert(make_key(static_cast<std::uint64_t>(i)), i + round);
+    }
+  }
+  EXPECT_EQ(map.bucket_count(), initial) << "overwrites must not rehash";
+  map.upsert(make_key(999), 999);  // a real insert crosses the threshold
+  EXPECT_GT(map.bucket_count(), initial);
+}
+
+TEST(HashMapTest, FindOptimisticSeesPublishedEntries) {
+  // Single-threaded smoke for the lock-free lookup: it must agree with the
+  // locked find() across inserts, overwrites, growth, and erases. (The
+  // concurrent torture lives in readpath_test.cpp.)
+  HashMap<int> map(16);
+  for (int i = 0; i < 200; ++i) {
+    map.upsert(make_key(static_cast<std::uint64_t>(i)), i);
+  }
+  for (int i = 0; i < 200; ++i) {
+    const int* v = map.find_optimistic(make_key(static_cast<std::uint64_t>(i)));
+    ASSERT_NE(v, nullptr) << i;
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_EQ(map.find_optimistic(make_key(100000)), nullptr);
+  map.erase(make_key(7));
+  EXPECT_EQ(map.find_optimistic(make_key(7)), nullptr);
 }
 
 TEST(HashMapTest, ClearEmpties) {

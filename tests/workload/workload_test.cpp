@@ -190,6 +190,9 @@ TEST_F(WorkloadTest, YcsbPresetsMatchDefinitions) {
   EXPECT_EQ(a.operations, 500u);
   EXPECT_DOUBLE_EQ(ycsb_preset('B', 1, 1, 1).read_fraction, 0.95);
   EXPECT_DOUBLE_EQ(ycsb_preset('C', 1, 1, 1).read_fraction, 1.0);
+  const auto r = ycsb_preset('R', 1, 1, 1);
+  EXPECT_DOUBLE_EQ(r.read_fraction, 0.99);
+  EXPECT_EQ(r.pattern, Pattern::kZipf);
   const auto u = ycsb_preset('U', 1, 1, 1);
   EXPECT_EQ(u.pattern, Pattern::kUniform);
   EXPECT_DOUBLE_EQ(u.read_fraction, 0.5);
