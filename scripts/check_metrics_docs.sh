@@ -1,0 +1,42 @@
+#!/usr/bin/env sh
+# Docs-consistency check: every metric name emitted by the server's stats
+# surfaces must be documented in docs/METRICS.md as a backticked token.
+#
+#   usage: check_metrics_docs.sh <dump_metrics-binary> <path/to/METRICS.md>
+#
+# Exits non-zero listing every undocumented metric. Run by ctest as
+# `docs_metrics_consistency` (tools/CMakeLists.txt) and by CI.
+set -eu
+
+if [ "$#" -ne 2 ]; then
+    echo "usage: $0 <dump_metrics-binary> <METRICS.md>" >&2
+    exit 2
+fi
+
+dump_bin="$1"
+docs="$2"
+
+if [ ! -x "$dump_bin" ]; then
+    echo "error: dump_metrics binary not found/executable: $dump_bin" >&2
+    exit 2
+fi
+if [ ! -f "$docs" ]; then
+    echo "error: docs file not found: $docs" >&2
+    exit 2
+fi
+
+missing=0
+total=0
+for name in $("$dump_bin"); do
+    total=$((total + 1))
+    if ! grep -q "\`$name\`" "$docs"; then
+        echo "UNDOCUMENTED: $name (add it to $docs)"
+        missing=$((missing + 1))
+    fi
+done
+
+if [ "$missing" -ne 0 ]; then
+    echo "docs-consistency FAILED: $missing of $total metrics missing from $docs"
+    exit 1
+fi
+echo "docs-consistency OK: all $total emitted metrics documented in $docs"

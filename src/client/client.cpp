@@ -18,6 +18,9 @@ Client::Client(net::Fabric& fabric, ClientConfig config, BackendDb* backend)
       backend_(backend),
       endpoint_(fabric_.create_endpoint(config_.name)),
       ring_(config_.servers, 160, config_.failover),
+      latency_(config_.record_latency
+                   ? std::make_unique<metrics::LatencyRecorder>(4)
+                   : nullptr),
       retry_tokens_(config_.retry_budget) {
   scratch_.resize(config_.bounce_slot_bytes);
   assert(!config_.use_backend_on_miss || backend_ != nullptr);
@@ -117,8 +120,11 @@ void Client::tx_main() {
         });
         break;
       case Opcode::kOpFlushAll:
-      case Opcode::kOpStats:
         break;  // empty payload
+      case Opcode::kOpStats:
+        // Subcommand bytes ride in job.key ("" = legacy counter text).
+        payload.assign(job->key.begin(), job->key.end());
+        break;
       default:
         break;
     }
@@ -201,6 +207,13 @@ void Client::rx_main() {
 
 void Client::signal_completion(Request& req, StatusCode status,
                                std::uint32_t flags, std::size_t value_len) {
+  // Issue->complete latency: recorded for every terminal status (a timeout
+  // is a completion the caller observed too). Reading the request here is
+  // safe -- publish_completion below is what releases it to its owner.
+  if (latency_ != nullptr && req.issued_at_ != sim::TimePoint{}) {
+    latency_->record_op(server::op_class(req.opcode_),
+                        metrics::delta_ns(req.issued_at_, sim::now()));
+  }
   req.publish_completion(status, flags, value_len);
   // After this point `req` may be gone: the lock-unlock pairs with a waiter
   // between its predicate check and its sleep (lost-wakeup prevention); the
@@ -226,6 +239,10 @@ StatusCode Client::issue(TxJob job, Request& req, int slot, bool is_get,
                          std::span<char> dest) {
   req.reset(dest);
   req.server_ = job.server;
+  req.opcode_ = job.opcode;
+  // Latency stamp before the request becomes reachable from the pending map
+  // (the completing thread reads it; see request.hpp).
+  if (latency_ != nullptr) req.issued_at_ = sim::now();
   if (!ring_.accepting(job.server)) {
     // Target is ejected and not yet due for a probe: fail fast instead of
     // letting the request burn its whole deadline against a dead server.
@@ -644,7 +661,8 @@ StatusCode Client::flush_all() {
   return worst;
 }
 
-Result<std::string> Client::stats_text(std::size_t server_index) {
+Result<std::string> Client::stats_text(std::size_t server_index,
+                                       std::string_view what) {
   if (server_index >= ring_.servers().size()) return StatusCode::kInvalidArgument;
   const net::EndpointId server = ring_.servers()[server_index];
   Request req;
@@ -654,6 +672,7 @@ Result<std::string> Client::stats_text(std::size_t server_index) {
         TxJob job;
         job.opcode = Opcode::kOpStats;
         job.server = server;
+        job.key = std::string(what);  // subcommand ("", "latency", "trace")
         return issue(std::move(job), r, -1, true, scratch_);
       },
       /*idempotent=*/true);
@@ -827,11 +846,18 @@ void Client::release_pending_window(net::EndpointId server) {
   if (--it->second == 0) pending_per_server_.erase(it);
 }
 
+LatencyHistogram Client::op_latency(metrics::Op op) const {
+  return latency_ != nullptr ? latency_->op_histogram(op) : LatencyHistogram{};
+}
+
 void Client::reset_metrics() {
-  const std::scoped_lock lock(metrics_mu_);
-  stages_.reset();
-  counters_ = ClientCounters{};
-  retry_tokens_ = config_.retry_budget;
+  {
+    const std::scoped_lock lock(metrics_mu_);
+    stages_.reset();
+    counters_ = ClientCounters{};
+    retry_tokens_ = config_.retry_budget;
+  }
+  if (latency_ != nullptr) latency_->reset();
 }
 
 }  // namespace hykv::client

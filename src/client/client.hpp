@@ -38,6 +38,7 @@
 #include "client/backend_db.hpp"
 #include "client/request.hpp"
 #include "client/ring.hpp"
+#include "common/metrics.hpp"
 #include "common/queue.hpp"
 #include "common/stage.hpp"
 #include "common/sim_time.hpp"
@@ -88,6 +89,13 @@ struct ClientConfig {
   /// so servers can drop expired-on-arrival work instead of executing it.
   /// Requires op_deadline > 0 to have any effect.
   bool propagate_deadline = false;
+
+  // ---- Observability (DESIGN.md §10) ----
+  /// Per-op-class issue->complete latency histograms (op_latency()): the
+  /// client-side view of the same request the server histograms time, so the
+  /// paper's issue/completion-overlap benefit is measurable from both ends.
+  /// Recording is a few relaxed atomic adds per completion.
+  bool record_latency = true;
 };
 
 struct ClientCounters {
@@ -148,8 +156,11 @@ class Client {
   /// memcached flush_all across every server in the ring.
   StatusCode flush_all();
 
-  /// memcached "stats" from one server, as "name value" lines.
-  Result<std::string> stats_text(std::size_t server_index = 0);
+  /// memcached "stats" from one server, as "name value" lines. `what`
+  /// selects a stats subcommand: "" = the legacy counter text, "latency" =
+  /// histogram percentiles, "trace" = sampled op timelines (JSON).
+  Result<std::string> stats_text(std::size_t server_index = 0,
+                                 std::string_view what = {});
 
   /// memcached "gets": fetch value + CAS version token.
   StatusCode gets(std::string_view key, std::vector<char>& out,
@@ -209,6 +220,10 @@ class Client {
 
   [[nodiscard]] StageBreakdown breakdown() const;
   [[nodiscard]] ClientCounters counters() const;
+  /// Merged issue->complete latency histogram for one op class. Covers every
+  /// completion path (response, timeout/cancel, shutdown) of blocking and
+  /// non-blocking ops alike; empty when record_latency is off.
+  [[nodiscard]] LatencyHistogram op_latency(metrics::Op op) const;
   void reset_metrics();
   [[nodiscard]] const ServerRing& ring() const noexcept { return ring_; }
   [[nodiscard]] net::EndpointId endpoint_id() const { return endpoint_->id(); }
@@ -320,6 +335,10 @@ class Client {
   mutable std::mutex metrics_mu_;
   StageBreakdown stages_;
   ClientCounters counters_;
+  /// Issue->complete histograms (null when record_latency is off). Written
+  /// by whichever thread completes a request (rx, cancel, shutdown) --
+  /// recorder slots are atomic, so no lock is involved.
+  std::unique_ptr<metrics::LatencyRecorder> latency_;
   /// Retry-token bucket (guarded by metrics_mu_); starts full at
   /// config_.retry_budget and is refunded by successful round trips.
   std::uint64_t retry_tokens_ = 0;

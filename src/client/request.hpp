@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <span>
 
+#include "common/sim_time.hpp"
 #include "common/status.hpp"
 
 namespace hykv::client {
@@ -67,6 +68,8 @@ class Request {
     flags_ = 0;
     wr_id_ = 0;
     server_ = 0;
+    opcode_ = 0;
+    issued_at_ = sim::TimePoint{};
     dest_ = dest;
   }
 
@@ -84,6 +87,11 @@ class Request {
   std::atomic<bool> sent_{false};
   std::uint64_t wr_id_ = 0;  ///< Set by Client::issue; used for cancel.
   std::uint64_t server_ = 0; ///< Target server (EndpointId); for failover.
+  std::uint16_t opcode_ = 0; ///< For the issue->complete latency op class.
+  /// Stamped at issue when the client records latency; both fields are set
+  /// before the request is registered in the pending map, so the completing
+  /// thread reads them race-free.
+  sim::TimePoint issued_at_{};
   StatusCode status_ = StatusCode::kInProgress;
   std::uint32_t flags_ = 0;
   std::size_t value_len_ = 0;

@@ -43,6 +43,20 @@ void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
   max_ = std::max(max_, other.max_);
 }
 
+void LatencyHistogram::merge_counts(std::span<const std::uint64_t> buckets,
+                                    std::uint64_t count, std::uint64_t sum,
+                                    std::uint64_t min,
+                                    std::uint64_t max) noexcept {
+  const std::size_t n = std::min(buckets.size(), buckets_.size());
+  for (std::size_t i = 0; i < n; ++i) buckets_[i] += buckets[i];
+  count_ += count;
+  sum_ += sum;
+  if (count > 0) {
+    min_ = std::min(min_, min);
+    max_ = std::max(max_, max);
+  }
+}
+
 void LatencyHistogram::reset() noexcept {
   buckets_.fill(0);
   count_ = 0;

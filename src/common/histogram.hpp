@@ -6,6 +6,7 @@
 #include <array>
 #include <chrono>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,13 @@ class LatencyHistogram {
  public:
   static constexpr int kSubBucketBits = 5;
   static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr std::size_t kBucketCount = 64 * kSubBuckets;
+
+  /// Bucket a value lands in (saturates at kBucketCount - 1) and the largest
+  /// value a bucket covers. Public so external recorders (metrics.hpp keeps
+  /// per-thread atomic bucket arrays) can share the exact same layout.
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t ns) noexcept;
+  [[nodiscard]] static std::uint64_t bucket_upper_bound(std::size_t index) noexcept;
 
   LatencyHistogram() = default;
 
@@ -28,6 +36,12 @@ class LatencyHistogram {
   void record_ns(std::uint64_t ns) noexcept;
 
   void merge(const LatencyHistogram& other) noexcept;
+  /// Merges raw bucket counts captured elsewhere with this exact layout
+  /// (bucket_index). `min`/`max` are ignored when `count` is 0. Used to fold
+  /// a snapshot of an atomic per-thread histogram into a plain one.
+  void merge_counts(std::span<const std::uint64_t> buckets, std::uint64_t count,
+                    std::uint64_t sum, std::uint64_t min,
+                    std::uint64_t max) noexcept;
   void reset() noexcept;
 
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
@@ -49,10 +63,7 @@ class LatencyHistogram {
   [[nodiscard]] std::string summary() const;
 
  private:
-  static std::size_t bucket_index(std::uint64_t ns) noexcept;
-  static std::uint64_t bucket_upper_bound(std::size_t index) noexcept;
-
-  std::array<std::uint64_t, 64 * kSubBuckets> buckets_{};
+  std::array<std::uint64_t, kBucketCount> buckets_{};
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;
   std::uint64_t min_ = UINT64_MAX;

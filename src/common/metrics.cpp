@@ -1,0 +1,170 @@
+#include "common/metrics.hpp"
+
+#include <algorithm>
+
+namespace hykv::metrics {
+
+namespace {
+constexpr auto kRelaxed = std::memory_order_relaxed;
+}  // namespace
+
+std::uint32_t thread_token() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t token = next.fetch_add(1, kRelaxed);
+  return token;
+}
+
+// ---------------------------------------------------------------------------
+// AtomicHistogram
+
+void AtomicHistogram::record(std::uint64_t ns) noexcept {
+  const std::size_t index =
+      std::min(LatencyHistogram::bucket_index(ns), buckets_.size() - 1);
+  buckets_[index].fetch_add(1, kRelaxed);
+  count_.fetch_add(1, kRelaxed);
+  sum_.fetch_add(ns, kRelaxed);
+  // min/max via CAS loops: slots may be shared by more threads than slots.
+  std::uint64_t cur = min_.load(kRelaxed);
+  while (ns < cur && !min_.compare_exchange_weak(cur, ns, kRelaxed)) {
+  }
+  cur = max_.load(kRelaxed);
+  while (ns > cur && !max_.compare_exchange_weak(cur, ns, kRelaxed)) {
+  }
+}
+
+void AtomicHistogram::merge_into(LatencyHistogram& out) const noexcept {
+  const std::uint64_t count = count_.load(kRelaxed);
+  if (count == 0) return;
+  std::array<std::uint64_t, LatencyHistogram::kBucketCount> snapshot;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    snapshot[i] = buckets_[i].load(kRelaxed);
+  }
+  out.merge_counts(snapshot, count, sum_.load(kRelaxed), min_.load(kRelaxed),
+                   max_.load(kRelaxed));
+}
+
+void AtomicHistogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, kRelaxed);
+  count_.store(0, kRelaxed);
+  sum_.store(0, kRelaxed);
+  min_.store(UINT64_MAX, kRelaxed);
+  max_.store(0, kRelaxed);
+}
+
+// ---------------------------------------------------------------------------
+// LatencyRecorder
+
+LatencyRecorder::LatencyRecorder(std::size_t slots)
+    : slots_(std::max<std::size_t>(1, slots)) {}
+
+LatencyRecorder::Slot& LatencyRecorder::local_slot() noexcept {
+  return slots_[thread_token() % slots_.size()];
+}
+
+void LatencyRecorder::record_op(Op op, std::uint64_t ns) noexcept {
+  local_slot().ops[static_cast<std::size_t>(op)].record(ns);
+}
+
+void LatencyRecorder::record_span(Span span, std::uint64_t ns) noexcept {
+  local_slot().spans[static_cast<std::size_t>(span)].record(ns);
+}
+
+LatencyHistogram LatencyRecorder::op_histogram(Op op) const {
+  LatencyHistogram out;
+  for (const Slot& slot : slots_) {
+    slot.ops[static_cast<std::size_t>(op)].merge_into(out);
+  }
+  return out;
+}
+
+LatencyHistogram LatencyRecorder::span_histogram(Span span) const {
+  LatencyHistogram out;
+  for (const Slot& slot : slots_) {
+    slot.spans[static_cast<std::size_t>(span)].merge_into(out);
+  }
+  return out;
+}
+
+void LatencyRecorder::reset() noexcept {
+  for (Slot& slot : slots_) {
+    for (auto& h : slot.ops) h.reset();
+    for (auto& h : slot.spans) h.reset();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// OpTracer
+
+OpTracer::OpTracer(unsigned sample_shift, std::size_t slots,
+                   std::size_t ring_capacity)
+    : shift_(std::min(sample_shift, 63u)),
+      mask_(shift_ == 0 ? 0 : (std::uint64_t{1} << shift_) - 1),
+      capacity_(std::max<std::size_t>(1, ring_capacity)),
+      rings_(shift_ == 0 ? 0 : std::max<std::size_t>(1, slots)) {
+  for (Ring& ring : rings_) ring.buf.reserve(capacity_);
+}
+
+bool OpTracer::sample(std::uint64_t& seq) noexcept {
+  if (shift_ == 0) return false;
+  seq = seq_.fetch_add(1, kRelaxed);
+  return (seq & mask_) == 0;
+}
+
+void OpTracer::publish(const Trace& trace) {
+  if (rings_.empty()) return;
+  Ring& ring = rings_[thread_token() % rings_.size()];
+  const std::scoped_lock lock(ring.mu);
+  if (ring.buf.size() < capacity_) {
+    ring.buf.push_back(trace);
+  } else {
+    ring.buf[ring.next] = trace;  // wraparound: overwrite the oldest
+    ring.next = (ring.next + 1) % capacity_;
+  }
+}
+
+std::vector<Trace> OpTracer::snapshot() const {
+  std::vector<Trace> out;
+  for (const Ring& ring : rings_) {
+    const std::scoped_lock lock(ring.mu);
+    out.insert(out.end(), ring.buf.begin(), ring.buf.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Trace& a, const Trace& b) { return a.seq < b.seq; });
+  return out;
+}
+
+std::string OpTracer::to_json() const {
+  const std::vector<Trace> traces = snapshot();
+  std::string json = "{\"sample_shift\":" + std::to_string(shift_) +
+                     ",\"traces\":[";
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const Trace& t = traces[i];
+    if (i != 0) json += ",";
+    json += "{\"seq\":" + std::to_string(t.seq) + ",\"op\":\"" +
+            std::string(to_string(t.op)) + "\",\"status\":" +
+            std::to_string(t.status) + ",\"start_ns\":" +
+            std::to_string(t.start_ns) + ",\"total_ns\":" +
+            std::to_string(t.total_ns) + ",\"spans\":[";
+    for (std::uint32_t s = 0; s < t.span_count; ++s) {
+      const TraceSpan& span = t.spans[s];
+      if (s != 0) json += ",";
+      json += "{\"span\":\"" + std::string(to_string(span.span)) +
+              "\",\"offset_ns\":" + std::to_string(span.offset_ns) +
+              ",\"duration_ns\":" + std::to_string(span.duration_ns) + "}";
+    }
+    json += "]}";
+  }
+  json += "]}\n";
+  return json;
+}
+
+void OpTracer::reset() {
+  for (Ring& ring : rings_) {
+    const std::scoped_lock lock(ring.mu);
+    ring.buf.clear();
+    ring.next = 0;
+  }
+  seq_.store(0, kRelaxed);
+}
+
+}  // namespace hykv::metrics

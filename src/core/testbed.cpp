@@ -50,6 +50,8 @@ TestBed::TestBed(TestBedConfig config)
     server_config.request_buffer_slots = config_.server_buffer_slots;
     server_config.max_inflight = config_.server_max_inflight;
     server_config.admission_queue_limit = config_.server_admission_queue_limit;
+    server_config.record_latency = config_.server_record_latency;
+    server_config.trace_sample_shift = config_.server_trace_sample_shift;
     server_config.manager.mode = is_hybrid(config_.design)
                                      ? store::StorageMode::kHybrid
                                      : store::StorageMode::kInMemory;
@@ -93,6 +95,7 @@ std::unique_ptr<client::Client> TestBed::make_client(std::string name) {
   cfg.retry_budget = config_.client_retry_budget;
   cfg.max_pending_per_server = config_.client_max_pending_per_server;
   cfg.propagate_deadline = config_.client_propagate_deadline;
+  cfg.record_latency = config_.client_record_latency;
   return std::make_unique<client::Client>(*fabric_, std::move(cfg), &backend_);
 }
 

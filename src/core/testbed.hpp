@@ -69,6 +69,14 @@ struct TestBedConfig {
   std::uint64_t client_retry_budget = 0;
   std::size_t client_max_pending_per_server = 0;
   bool client_propagate_deadline = false;
+
+  // ---- Observability (DESIGN.md §10; see server::ServerConfig) ----
+  /// Per-server latency histograms (`stats latency`); on by default.
+  bool server_record_latency = true;
+  /// Sampled op tracing shift handed to every server (0 = off).
+  unsigned server_trace_sample_shift = 0;
+  /// Client-side issue->complete histograms handed to every make_client().
+  bool client_record_latency = true;
 };
 
 class TestBed {

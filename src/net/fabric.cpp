@@ -109,6 +109,7 @@ SendTicket Endpoint::send(EndpointId dst, std::uint16_t opcode,
   msg.wr_id = wr_id;
   msg.payload.assign(payload.begin(), payload.end());
   msg.deliver_at = deliver_at + sim::scaled(fault.extra_delay);
+  msg.sent_at = sim::now();  // post time: receivers derive the transfer span
   if (fault.duplicate) {
     // The ghost copy trails the original by one propagation delay -- the
     // receiver must tolerate duplicate wr_ids (stale-response path).

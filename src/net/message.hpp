@@ -20,6 +20,8 @@ struct Message {
   std::uint64_t wr_id = 0;    ///< Work-request id for request/response matching.
   std::vector<char> payload;  ///< Byte payload (header + data).
   sim::TimePoint deliver_at;  ///< Earliest time the receiver may observe it.
+  sim::TimePoint sent_at;     ///< When the send was posted (observability:
+                              ///< fabric-transfer span = deliver_at - sent_at).
 };
 
 /// Handle to a posted send: completes_at is the instant the local HCA has

@@ -16,6 +16,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/status.hpp"
 
 namespace hykv::server {
@@ -33,10 +34,43 @@ enum Opcode : std::uint16_t {
   kOpDecr = 10,
   kOpTouch = 11,    ///< [u32 key_len][i64 expiration][key].
   kOpFlushAll = 12, ///< Empty payload; drops every item on the server.
-  kOpStats = 13,    ///< Empty payload; resp value = "key value\n" text.
+  kOpStats = 13,    ///< Payload = optional subcommand bytes ("" = legacy
+                    ///< counter text, "latency", "trace"); resp value =
+                    ///< "key value\n" text (JSON for "trace").
   kOpGets = 14,     ///< GET encoding; resp value = [u64 cas][value bytes].
   kOpCas = 15,      ///< [u32 key_len][u32 flags][i64 exp][u64 cas][key][value].
 };
+
+/// Observability op class of an opcode: the histogram bucket a well-formed
+/// request of this opcode lands in (`stats latency`, client issue→complete).
+/// Mirrors how handle() folds opcodes into the per-op ServerCounters, so
+/// `stats latency` counts balance against `stats` counts; malformed requests
+/// are recorded as Op::kOther regardless of opcode.
+[[nodiscard]] constexpr metrics::Op op_class(std::uint16_t opcode) noexcept {
+  switch (opcode) {
+    case kOpSet:
+    case kOpAdd:
+    case kOpReplace:
+    case kOpAppend:
+    case kOpPrepend:
+    case kOpIncr:
+    case kOpDecr:
+    case kOpCas:
+      return metrics::Op::kSet;
+    case kOpGet:
+    case kOpGets:
+      return metrics::Op::kGet;
+    case kOpDelete:
+      return metrics::Op::kDelete;
+    case kOpTouch:
+      return metrics::Op::kTouch;
+    case kOpFlushAll:
+    case kOpStats:
+      return metrics::Op::kAdmin;
+    default:
+      return metrics::Op::kOther;
+  }
+}
 
 struct SetRequest {
   std::string_view key;

@@ -18,52 +18,179 @@ void append_stat(std::string& out, std::string_view name, std::uint64_t v) {
   out.push_back('\n');
 }
 
+// The `stats` schema: one row per line, in render order. The single source
+// of truth -- render_stats_text iterates it, stats_field_names() exposes it
+// to tests and the docs-consistency tool, so adding a counter here is the
+// whole change (no magic line counts to chase). Compatibility rule: only
+// ever APPEND rows; existing names and their relative order are frozen.
+struct StatsSnapshot {
+  const ServerCounters& counters;
+  const store::ManagerStats& store;
+  const store::SlabStats& slab;
+  std::size_t item_count;
+  unsigned shards;
+};
+
+struct StatsField {
+  std::string_view name;
+  std::uint64_t (*value)(const StatsSnapshot&);
+};
+
+constexpr StatsField kStatsFields[] = {
+    {"requests", [](const StatsSnapshot& s) { return s.counters.requests; }},
+    {"sets", [](const StatsSnapshot& s) { return s.counters.sets; }},
+    {"gets", [](const StatsSnapshot& s) { return s.counters.gets; }},
+    {"deletes", [](const StatsSnapshot& s) { return s.counters.deletes; }},
+    {"touches", [](const StatsSnapshot& s) { return s.counters.touches; }},
+    {"admin", [](const StatsSnapshot& s) { return s.counters.admin; }},
+    {"malformed", [](const StatsSnapshot& s) { return s.counters.malformed; }},
+    {"shed", [](const StatsSnapshot& s) { return s.counters.shed; }},
+    {"expired_on_arrival",
+     [](const StatsSnapshot& s) { return s.counters.expired_on_arrival; }},
+    {"items",
+     [](const StatsSnapshot& s) {
+       return static_cast<std::uint64_t>(s.item_count);
+     }},
+    {"ram_hits", [](const StatsSnapshot& s) { return s.store.ram_hits; }},
+    {"ssd_hits", [](const StatsSnapshot& s) { return s.store.ssd_hits; }},
+    {"misses", [](const StatsSnapshot& s) { return s.store.misses; }},
+    {"expired", [](const StatsSnapshot& s) { return s.store.expired; }},
+    {"optimistic_hits",
+     [](const StatsSnapshot& s) { return s.store.optimistic_hits; }},
+    {"optimistic_retries",
+     [](const StatsSnapshot& s) { return s.store.optimistic_retries; }},
+    {"locked_fallbacks",
+     [](const StatsSnapshot& s) { return s.store.locked_fallbacks; }},
+    {"flushes", [](const StatsSnapshot& s) { return s.store.flushes; }},
+    {"flushed_bytes",
+     [](const StatsSnapshot& s) { return s.store.flushed_bytes; }},
+    {"promotions", [](const StatsSnapshot& s) { return s.store.promotions; }},
+    {"dropped_evictions",
+     [](const StatsSnapshot& s) { return s.store.dropped_evictions; }},
+    {"ssd_live_bytes",
+     [](const StatsSnapshot& s) { return s.store.ssd_live_bytes; }},
+    {"io_errors", [](const StatsSnapshot& s) { return s.store.io_errors; }},
+    {"degraded",
+     [](const StatsSnapshot& s) {
+       return std::uint64_t{s.store.degraded ? 1u : 0u};
+     }},
+    {"degraded_shards",
+     [](const StatsSnapshot& s) {
+       return static_cast<std::uint64_t>(s.store.degraded_shards);
+     }},
+    {"shards",
+     [](const StatsSnapshot& s) { return static_cast<std::uint64_t>(s.shards); }},
+    {"slab_pages",
+     [](const StatsSnapshot& s) {
+       return static_cast<std::uint64_t>(s.slab.slab_pages);
+     }},
+    {"slab_reserved_bytes",
+     [](const StatsSnapshot& s) {
+       return static_cast<std::uint64_t>(s.slab.reserved_bytes);
+     }},
+    {"slab_used_chunks",
+     [](const StatsSnapshot& s) {
+       return static_cast<std::uint64_t>(s.slab.used_chunks);
+     }},
+};
+
+/// Per-histogram stats emitted for each op/span histogram, in order.
+constexpr std::string_view kHistogramStats[] = {"count", "mean_ns", "p50_ns",
+                                                "p95_ns", "p99_ns", "p999_ns"};
+
+void append_histogram(std::string& out, const std::string& prefix,
+                      const LatencyHistogram& hist) {
+  append_stat(out, prefix + "_count", hist.count());
+  append_stat(out, prefix + "_mean_ns",
+              static_cast<std::uint64_t>(hist.mean_ns()));
+  append_stat(out, prefix + "_p50_ns", hist.percentile_ns(50));
+  append_stat(out, prefix + "_p95_ns", hist.percentile_ns(95));
+  append_stat(out, prefix + "_p99_ns", hist.percentile_ns(99));
+  append_stat(out, prefix + "_p999_ns", hist.percentile_ns(99.9));
+}
+
 }  // namespace
 
 std::string render_stats_text(const ServerCounters& counters,
                               const store::ManagerStats& store,
                               const store::SlabStats& slab,
                               std::size_t item_count, unsigned shards) {
+  const StatsSnapshot snapshot{counters, store, slab, item_count, shards};
   std::string out;
   out.reserve(640);
-  append_stat(out, "requests", counters.requests);
-  append_stat(out, "sets", counters.sets);
-  append_stat(out, "gets", counters.gets);
-  append_stat(out, "deletes", counters.deletes);
-  append_stat(out, "touches", counters.touches);
-  append_stat(out, "admin", counters.admin);
-  append_stat(out, "malformed", counters.malformed);
-  append_stat(out, "shed", counters.shed);
-  append_stat(out, "expired_on_arrival", counters.expired_on_arrival);
-  append_stat(out, "items", item_count);
-  append_stat(out, "ram_hits", store.ram_hits);
-  append_stat(out, "ssd_hits", store.ssd_hits);
-  append_stat(out, "misses", store.misses);
-  append_stat(out, "expired", store.expired);
-  append_stat(out, "optimistic_hits", store.optimistic_hits);
-  append_stat(out, "optimistic_retries", store.optimistic_retries);
-  append_stat(out, "locked_fallbacks", store.locked_fallbacks);
-  append_stat(out, "flushes", store.flushes);
-  append_stat(out, "flushed_bytes", store.flushed_bytes);
-  append_stat(out, "promotions", store.promotions);
-  append_stat(out, "dropped_evictions", store.dropped_evictions);
-  append_stat(out, "ssd_live_bytes", store.ssd_live_bytes);
-  append_stat(out, "io_errors", store.io_errors);
-  append_stat(out, "degraded", store.degraded ? 1 : 0);
-  append_stat(out, "degraded_shards", store.degraded_shards);
-  append_stat(out, "shards", shards);
-  append_stat(out, "slab_pages", slab.slab_pages);
-  append_stat(out, "slab_reserved_bytes", slab.reserved_bytes);
-  append_stat(out, "slab_used_chunks", slab.used_chunks);
+  for (const StatsField& field : kStatsFields) {
+    append_stat(out, field.name, field.value(snapshot));
+  }
   return out;
 }
+
+std::vector<std::string_view> stats_field_names() {
+  std::vector<std::string_view> names;
+  names.reserve(std::size(kStatsFields));
+  for (const StatsField& field : kStatsFields) names.push_back(field.name);
+  return names;
+}
+
+std::string render_latency_text(const metrics::LatencyRecorder& recorder) {
+  std::string out;
+  out.reserve(4096);
+  append_stat(out, "latency_recording", 1);
+  for (std::size_t i = 0; i < metrics::kOpCount; ++i) {
+    const auto op = static_cast<metrics::Op>(i);
+    append_histogram(out, "latency_" + std::string(metrics::to_string(op)),
+                     recorder.op_histogram(op));
+  }
+  for (std::size_t i = 0; i < metrics::kSpanCount; ++i) {
+    const auto span = static_cast<metrics::Span>(i);
+    append_histogram(out, "span_" + std::string(metrics::to_string(span)),
+                     recorder.span_histogram(span));
+  }
+  return out;
+}
+
+std::vector<std::string> latency_field_names() {
+  std::vector<std::string> names;
+  names.reserve(1 + (metrics::kOpCount + metrics::kSpanCount) *
+                        std::size(kHistogramStats));
+  names.emplace_back("latency_recording");
+  for (std::size_t i = 0; i < metrics::kOpCount; ++i) {
+    const auto op = static_cast<metrics::Op>(i);
+    for (const std::string_view stat : kHistogramStats) {
+      names.push_back("latency_" + std::string(metrics::to_string(op)) + "_" +
+                      std::string(stat));
+    }
+  }
+  for (std::size_t i = 0; i < metrics::kSpanCount; ++i) {
+    const auto span = static_cast<metrics::Span>(i);
+    for (const std::string_view stat : kHistogramStats) {
+      names.push_back("span_" + std::string(metrics::to_string(span)) + "_" +
+                      std::string(stat));
+    }
+  }
+  return names;
+}
+
+namespace {
+store::ManagerConfig with_recorder(store::ManagerConfig manager,
+                                   metrics::LatencyRecorder* recorder) {
+  manager.latency = recorder;
+  return manager;
+}
+}  // namespace
 
 MemcachedServer::MemcachedServer(net::Fabric& fabric, ServerConfig config,
                                  ssd::StorageStack* storage)
     : fabric_(fabric),
       config_(std::move(config)),
       endpoint_(fabric_.create_endpoint(config_.name)),
-      manager_(config_.manager, storage),
+      recorder_(config_.record_latency
+                    ? std::make_unique<metrics::LatencyRecorder>()
+                    : nullptr),
+      tracer_(config_.trace_sample_shift > 0
+                  ? std::make_unique<metrics::OpTracer>(
+                        config_.trace_sample_shift)
+                  : nullptr),
+      manager_(with_recorder(config_.manager, recorder_.get()), storage),
       buffered_(config_.async_processing ? config_.request_buffer_slots : 0),
       metrics_(1 + (config_.async_processing ? config_.processing_threads : 0)) {}
 
@@ -95,6 +222,7 @@ void MemcachedServer::network_main() {
   while (true) {
     auto msg = endpoint_->recv();
     if (!msg.ok()) break;  // endpoint closed
+    const sim::TimePoint received_at = sim::now();
     if (config_.async_processing) {
       if (admission_on) {
         if (!admit(msg.value())) continue;  // shed with kBusy
@@ -102,9 +230,13 @@ void MemcachedServer::network_main() {
       }
       // Buffer the request; a full slot pool stalls this receive loop,
       // back-pressuring clients that try to run too far ahead.
-      if (!buffered_.push(std::move(msg).value())) break;
+      if (!buffered_.push(
+              BufferedRequest{std::move(msg).value(), received_at})) {
+        break;
+      }
     } else {
-      handle(msg.value(), metrics_[0]);
+      handle(msg.value(), metrics_[0],
+             RequestContext{received_at, received_at});
     }
   }
 }
@@ -131,14 +263,16 @@ void MemcachedServer::worker_main(std::size_t worker_index) {
   WorkerMetrics& metrics = metrics_[1 + worker_index];
   const bool admission_on =
       config_.max_inflight > 0 || config_.admission_queue_limit > 0;
-  while (auto msg = buffered_.pop()) {
-    handle(*msg, metrics);
+  while (auto buffered = buffered_.pop()) {
+    handle(buffered->msg, metrics,
+           RequestContext{buffered->received_at, sim::now()});
     if (admission_on) inflight_.fetch_sub(1, kRelaxed);
   }
 }
 
 void MemcachedServer::handle(const net::Message& request,
-                             WorkerMetrics& metrics) {
+                             WorkerMetrics& metrics,
+                             const RequestContext& ctx) {
   using Clock = std::chrono::steady_clock;
   StatusCode status = StatusCode::kInvalidArgument;
   std::uint32_t flags = 0;
@@ -147,6 +281,34 @@ void MemcachedServer::handle(const net::Message& request,
   StageBreakdown stages;
 
   metrics.requests.fetch_add(1, kRelaxed);
+
+  // Observability (DESIGN.md §10). Everything below is skipped entirely when
+  // both the recorder and the tracer are off -- not even a clock read.
+  metrics::LatencyRecorder* const recorder = recorder_.get();
+  std::uint64_t trace_seq = 0;
+  const bool traced = tracer_ != nullptr && tracer_->sample(trace_seq);
+  const bool observing = recorder != nullptr || traced;
+  metrics::Op op_cls = op_class(request.opcode);
+  if (recorder != nullptr) {
+    // Fabric-transfer span: post -> delivery, stamped by the sender. Guarded
+    // because hand-built messages (tests) may lack the stamp.
+    if (request.sent_at != sim::TimePoint{}) {
+      recorder->record_span(metrics::Span::kFabricTransfer,
+                            metrics::delta_ns(request.sent_at,
+                                              request.deliver_at));
+    }
+    if (ctx.dequeued_at > ctx.received_at) {
+      recorder->record_span(metrics::Span::kAdmissionWait,
+                            metrics::delta_ns(ctx.received_at,
+                                              ctx.dequeued_at));
+    }
+  }
+  // Malformed requests land in the kOther histogram whatever their opcode
+  // claimed (mirrors the `malformed` counter).
+  const auto count_malformed = [&metrics, &op_cls] {
+    metrics.malformed.fetch_add(1, kRelaxed);
+    op_cls = metrics::Op::kOther;
+  };
 
   // Deadline propagation: strip the optional client-deadline header and drop
   // expired-on-arrival work *before* paying the slab/SSD phase -- the client
@@ -163,6 +325,10 @@ void MemcachedServer::handle(const net::Message& request,
   }
   const std::span<const char> body = envelope.inner;
 
+  // Store phase span: opcode dispatch including the store call(s).
+  const Clock::time_point store_start =
+      observing ? Clock::now() : Clock::time_point{};
+
   switch (request.opcode) {
     case kOpSet: {
       const auto req = decode_set(body);
@@ -171,7 +337,7 @@ void MemcachedServer::handle(const net::Message& request,
                               req->expiration, &stages);
         metrics.sets.fetch_add(1, kRelaxed);
       } else {
-        metrics.malformed.fetch_add(1, kRelaxed);
+        count_malformed();
       }
       break;
     }
@@ -182,7 +348,7 @@ void MemcachedServer::handle(const net::Message& request,
         has_value = ok(status);
         metrics.gets.fetch_add(1, kRelaxed);
       } else {
-        metrics.malformed.fetch_add(1, kRelaxed);
+        count_malformed();
       }
       break;
     }
@@ -192,7 +358,7 @@ void MemcachedServer::handle(const net::Message& request,
         status = manager_.del(req->key);
         metrics.deletes.fetch_add(1, kRelaxed);
       } else {
-        metrics.malformed.fetch_add(1, kRelaxed);
+        count_malformed();
       }
       break;
     }
@@ -220,7 +386,7 @@ void MemcachedServer::handle(const net::Message& request,
         }
         metrics.sets.fetch_add(1, kRelaxed);
       } else {
-        metrics.malformed.fetch_add(1, kRelaxed);
+        count_malformed();
       }
       break;
     }
@@ -238,7 +404,7 @@ void MemcachedServer::handle(const net::Message& request,
         }
         metrics.sets.fetch_add(1, kRelaxed);
       } else {
-        metrics.malformed.fetch_add(1, kRelaxed);
+        count_malformed();
       }
       break;
     }
@@ -248,7 +414,7 @@ void MemcachedServer::handle(const net::Message& request,
         status = manager_.touch(req->key, req->expiration);
         metrics.touches.fetch_add(1, kRelaxed);
       } else {
-        metrics.malformed.fetch_add(1, kRelaxed);
+        count_malformed();
       }
       break;
     }
@@ -259,9 +425,35 @@ void MemcachedServer::handle(const net::Message& request,
       break;
     }
     case kOpStats: {
-      value = render_stats();
-      has_value = true;
-      status = StatusCode::kOk;
+      // Subcommands ride in the payload: "" = legacy counter text (frozen
+      // format, byte-identical whether recording is on or off), "latency" =
+      // histogram percentiles, "trace" = sampled timelines as JSON. Unknown
+      // subcommands answer kInvalidArgument but still count as admin so
+      // requests == ops_sum() holds.
+      const std::string_view what =
+          body.empty() ? std::string_view{}
+                       : std::string_view(body.data(), body.size());
+      if (what.empty()) {
+        value = render_stats();
+        has_value = true;
+        status = StatusCode::kOk;
+      } else if (what == "latency") {
+        const std::string text = recorder != nullptr
+                                     ? render_latency_text(*recorder)
+                                     : std::string("latency_recording 0\n");
+        value.assign(text.begin(), text.end());
+        has_value = true;
+        status = StatusCode::kOk;
+      } else if (what == "trace") {
+        const std::string text =
+            tracer_ != nullptr ? tracer_->to_json()
+                               : std::string("{\"sample_shift\":0,\"traces\":[]}\n");
+        value.assign(text.begin(), text.end());
+        has_value = true;
+        status = StatusCode::kOk;
+      } else {
+        status = StatusCode::kInvalidArgument;
+      }
       metrics.admin.fetch_add(1, kRelaxed);
       break;
     }
@@ -279,7 +471,7 @@ void MemcachedServer::handle(const net::Message& request,
         }
         metrics.gets.fetch_add(1, kRelaxed);
       } else {
-        metrics.malformed.fetch_add(1, kRelaxed);
+        count_malformed();
       }
       break;
     }
@@ -290,12 +482,12 @@ void MemcachedServer::handle(const net::Message& request,
                               req->expiration, req->cas, &stages);
         metrics.sets.fetch_add(1, kRelaxed);
       } else {
-        metrics.malformed.fetch_add(1, kRelaxed);
+        count_malformed();
       }
       break;
     }
     default: {
-      metrics.malformed.fetch_add(1, kRelaxed);
+      count_malformed();
       break;
     }
   }
@@ -310,8 +502,54 @@ void MemcachedServer::handle(const net::Message& request,
              static_cast<unsigned long long>(request.wr_id), request.opcode,
              static_cast<unsigned>(status));
   endpoint_->send(request.src, kOpResponse, request.wr_id, payload);
-  stages.add(Stage::kServerResponse, Clock::now() - response_start);
+  const auto response_end = Clock::now();
+  stages.add(Stage::kServerResponse, response_end - response_start);
   stages.add_ops();
+
+  if (observing) {
+    // End-to-end latency is receipt -> response sent; the fabric-transfer
+    // span (recorded above) covers the wire time before receipt.
+    if (recorder != nullptr) {
+      recorder->record_op(op_cls,
+                          metrics::delta_ns(ctx.received_at, response_end));
+      recorder->record_span(metrics::Span::kStorePhase,
+                            metrics::delta_ns(store_start, response_start));
+      recorder->record_span(metrics::Span::kResponse,
+                            metrics::delta_ns(response_start, response_end));
+    }
+    if (traced) {
+      // The trace timeline starts at the earliest instant we know about the
+      // request: the fabric post when stamped, else server receipt.
+      const sim::TimePoint origin = request.sent_at != sim::TimePoint{}
+                                        ? request.sent_at
+                                        : ctx.received_at;
+      metrics::Trace trace;
+      trace.seq = trace_seq;
+      trace.op = op_cls;
+      trace.status = static_cast<std::uint8_t>(status);
+      trace.start_ns = static_cast<std::uint64_t>(
+          origin.time_since_epoch().count() < 0
+              ? 0
+              : origin.time_since_epoch().count());
+      trace.total_ns = metrics::delta_ns(origin, response_end);
+      if (request.sent_at != sim::TimePoint{}) {
+        trace.add_span(metrics::Span::kFabricTransfer, 0,
+                       metrics::delta_ns(request.sent_at, request.deliver_at));
+      }
+      if (ctx.dequeued_at > ctx.received_at) {
+        trace.add_span(metrics::Span::kAdmissionWait,
+                       metrics::delta_ns(origin, ctx.received_at),
+                       metrics::delta_ns(ctx.received_at, ctx.dequeued_at));
+      }
+      trace.add_span(metrics::Span::kStorePhase,
+                     metrics::delta_ns(origin, store_start),
+                     metrics::delta_ns(store_start, response_start));
+      trace.add_span(metrics::Span::kResponse,
+                     metrics::delta_ns(origin, response_start),
+                     metrics::delta_ns(response_start, response_end));
+      tracer_->publish(trace);
+    }
+  }
 
   // Publish this request's stage time into the thread's slot (uncontended
   // relaxed adds -- no shared lock anywhere on the request path).
@@ -372,6 +610,8 @@ void MemcachedServer::reset_metrics() {
     slot.shed.store(0, kRelaxed);
     slot.expired_on_arrival.store(0, kRelaxed);
   }
+  if (recorder_ != nullptr) recorder_->reset();
+  if (tracer_ != nullptr) tracer_->reset();
 }
 
 }  // namespace hykv::server

@@ -32,9 +32,11 @@
 #include <atomic>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/queue.hpp"
 #include "common/stage.hpp"
 #include "net/fabric.hpp"
@@ -60,6 +62,19 @@ struct ServerConfig {
   /// Async mode: buffered-queue depth at which the receive loop sheds with
   /// kBusy instead of stalling (0 = off: blocking-push backpressure).
   std::size_t admission_queue_limit = 0;
+
+  // ---- Observability (DESIGN.md §10; docs/METRICS.md is the catalog) ----
+  /// Per-op-type and per-stage latency histograms, served by the
+  /// `stats latency` subcommand. On by default: recording is a handful of
+  /// relaxed atomic adds per request (<=2% throughput cost -- see
+  /// bench/ablation_obs_overhead.cpp). Off removes every recorder touch
+  /// from the hot path; the legacy `stats` text is byte-identical either
+  /// way.
+  bool record_latency = true;
+  /// Sampled op tracing: 0 = off (default); shift s captures every 2^s-th
+  /// request's stage timeline into per-worker rings, dumped as JSON by the
+  /// `stats trace` subcommand.
+  unsigned trace_sample_shift = 0;
 };
 
 /// Per-op request counters. Every well-formed request bumps exactly one of
@@ -89,11 +104,30 @@ struct ServerCounters {
 /// renderer is testable with arbitrary (e.g. maximal) counter values; built
 /// on std::string, which cannot truncate or overread the way a fixed
 /// snprintf buffer can.
+///
+/// Compatibility guarantee: lines appear in the fixed order of the internal
+/// field table; new counters are only ever APPENDED to that table, and
+/// stats_field_names() exposes it so tests and the docs-consistency check
+/// derive the expected layout instead of hard-coding line counts.
 [[nodiscard]] std::string render_stats_text(const ServerCounters& counters,
                                             const store::ManagerStats& store,
                                             const store::SlabStats& slab,
                                             std::size_t item_count,
                                             unsigned shards);
+
+/// The `stats` line names, in render order (single source of truth shared by
+/// render_stats_text, the stats tests, and tools/dump_metrics).
+[[nodiscard]] std::vector<std::string_view> stats_field_names();
+
+/// The `stats latency` text: one "name value\n" line per op-class histogram
+/// stat (latency_<op>_{count,mean_ns,p50_ns,p95_ns,p99_ns,p999_ns}) followed
+/// by the same for each stage span (span_<span>_...), preceded by a
+/// "latency_recording 1" header. All values are integer nanoseconds/counts.
+[[nodiscard]] std::string render_latency_text(
+    const metrics::LatencyRecorder& recorder);
+
+/// The `stats latency` line names, in render order.
+[[nodiscard]] std::vector<std::string> latency_field_names();
 
 class MemcachedServer {
  public:
@@ -119,6 +153,16 @@ class MemcachedServer {
   [[nodiscard]] store::ManagerStats store_stats() const { return manager_.stats(); }
   [[nodiscard]] store::ShardedManager& manager() noexcept { return manager_; }
 
+  /// Merged latency recorder view (nullptr when record_latency is off). The
+  /// same data the `stats latency` subcommand serves over the wire.
+  [[nodiscard]] const metrics::LatencyRecorder* latency() const noexcept {
+    return recorder_.get();
+  }
+  /// Sampled op tracer (nullptr when trace_sample_shift == 0).
+  [[nodiscard]] const metrics::OpTracer* tracer() const noexcept {
+    return tracer_.get();
+  }
+
   void reset_metrics();
 
  private:
@@ -139,9 +183,23 @@ class MemcachedServer {
     std::atomic<std::uint64_t> expired_on_arrival{0};
   };
 
+  /// An async-buffered request plus the instant the network thread received
+  /// it -- dequeue-minus-receipt is the admission-wait span.
+  struct BufferedRequest {
+    net::Message msg;
+    sim::TimePoint received_at{};
+  };
+  /// Receipt/dequeue timestamps a request carries into handle() so latency
+  /// is measured end to end, not from when a worker got around to it.
+  struct RequestContext {
+    sim::TimePoint received_at{};
+    sim::TimePoint dequeued_at{};
+  };
+
   void network_main();
   void worker_main(std::size_t worker_index);
-  void handle(const net::Message& request, WorkerMetrics& metrics);
+  void handle(const net::Message& request, WorkerMetrics& metrics,
+              const RequestContext& ctx);
   /// Admission check for one arriving request (async mode, admission on).
   /// Returns false after shedding it with a cheap kBusy response.
   bool admit(const net::Message& request);
@@ -150,9 +208,14 @@ class MemcachedServer {
   net::Fabric& fabric_;
   ServerConfig config_;
   std::shared_ptr<net::Endpoint> endpoint_;
+  /// Declared (and thus constructed) before manager_: the manager config
+  /// gets the recorder pointer injected, so the recorder must outlive and
+  /// pre-date the manager.
+  std::unique_ptr<metrics::LatencyRecorder> recorder_;  ///< null = off
+  std::unique_ptr<metrics::OpTracer> tracer_;           ///< null = off
   store::ShardedManager manager_;
 
-  BlockingQueue<net::Message> buffered_;  ///< Async mode slot pool.
+  BlockingQueue<BufferedRequest> buffered_;  ///< Async mode slot pool.
   std::vector<std::thread> threads_;
   std::atomic<bool> running_{false};
   /// Admitted-but-unfinished requests; only maintained when admission

@@ -164,6 +164,17 @@ bool HybridSlabManager::drop_one(unsigned cls) {
 
 bool HybridSlabManager::flush_batch(unsigned cls,
                                     std::unique_lock<std::mutex>& lock) {
+  metrics::LatencyRecorder* const rec = config_.latency;
+  if (rec == nullptr) return do_flush_batch(cls, lock);
+  const SteadyClock::time_point start = SteadyClock::now();
+  const bool flushed = do_flush_batch(cls, lock);
+  rec->record_span(metrics::Span::kSsdFlush,
+                   metrics::delta_ns(start, SteadyClock::now()));
+  return flushed;
+}
+
+bool HybridSlabManager::do_flush_batch(unsigned cls,
+                                       std::unique_lock<std::mutex>& lock) {
   assert(lock.owns_lock());
   if (lru_[cls].empty()) return false;
 
@@ -439,6 +450,12 @@ StatusCode HybridSlabManager::set(std::string_view key,
 StatusCode HybridSlabManager::get(std::string_view key, std::vector<char>& out,
                                   std::uint32_t& flags,
                                   StageBreakdown* stages) {
+  // One timestamp classifies the whole read by outcome: a GET that falls
+  // back pays the failed optimistic attempt too, and that full cost lands in
+  // the locked_read span (the cost the fallback actually imposed).
+  metrics::LatencyRecorder* const rec = config_.latency;
+  const SteadyClock::time_point read_start =
+      rec != nullptr ? SteadyClock::now() : SteadyClock::time_point{};
   if (config_.optimistic_reads) {
     // The modelled per-op CPU cost is realised *outside* any lock here: on
     // the optimistic design the hash/copy work genuinely runs without the
@@ -446,11 +463,29 @@ StatusCode HybridSlabManager::get(std::string_view key, std::vector<char>& out,
     if (config_.modelled_op_cost.count() > 0) {
       sim::advance_coarse(config_.modelled_op_cost);
     }
-    if (try_optimistic_get(key, out, flags, nullptr)) return StatusCode::kOk;
+    if (try_optimistic_get(key, out, flags, nullptr)) {
+      if (rec != nullptr) {
+        rec->record_span(metrics::Span::kOptimisticRead,
+                         metrics::delta_ns(read_start, SteadyClock::now()));
+      }
+      return StatusCode::kOk;
+    }
     opt_fallbacks_.fetch_add(1, std::memory_order_relaxed);
-    return get_locked(key, out, flags, stages, /*pay_modelled_cost=*/false);
+    const StatusCode code =
+        get_locked(key, out, flags, stages, /*pay_modelled_cost=*/false);
+    if (rec != nullptr) {
+      rec->record_span(metrics::Span::kLockedRead,
+                       metrics::delta_ns(read_start, SteadyClock::now()));
+    }
+    return code;
   }
-  return get_locked(key, out, flags, stages, /*pay_modelled_cost=*/true);
+  const StatusCode code =
+      get_locked(key, out, flags, stages, /*pay_modelled_cost=*/true);
+  if (rec != nullptr) {
+    rec->record_span(metrics::Span::kLockedRead,
+                     metrics::delta_ns(read_start, SteadyClock::now()));
+  }
+  return code;
 }
 
 bool HybridSlabManager::try_optimistic_get(std::string_view key,
@@ -796,6 +831,9 @@ std::uint64_t HybridSlabManager::current_cas_locked(const Entry* entry) const {
 StatusCode HybridSlabManager::gets(std::string_view key, std::vector<char>& out,
                                    std::uint32_t& flags, std::uint64_t& cas,
                                    StageBreakdown* stages) {
+  metrics::LatencyRecorder* const rec = config_.latency;
+  const SteadyClock::time_point read_start =
+      rec != nullptr ? SteadyClock::now() : SteadyClock::time_point{};
   if (config_.optimistic_reads) {
     if (config_.modelled_op_cost.count() > 0) {
       sim::advance_coarse(config_.modelled_op_cost);
@@ -803,12 +841,29 @@ StatusCode HybridSlabManager::gets(std::string_view key, std::vector<char>& out,
     // The seqlock bracket snapshots (value, flags, cas) atomically, so the
     // CAS token always matches the returned bytes -- the same guarantee the
     // locked path gets from holding the mutex.
-    if (try_optimistic_get(key, out, flags, &cas)) return StatusCode::kOk;
+    if (try_optimistic_get(key, out, flags, &cas)) {
+      if (rec != nullptr) {
+        rec->record_span(metrics::Span::kOptimisticRead,
+                         metrics::delta_ns(read_start, SteadyClock::now()));
+      }
+      return StatusCode::kOk;
+    }
     opt_fallbacks_.fetch_add(1, std::memory_order_relaxed);
-    return gets_locked(key, out, flags, cas, stages,
-                       /*pay_modelled_cost=*/false);
+    const StatusCode code = gets_locked(key, out, flags, cas, stages,
+                                        /*pay_modelled_cost=*/false);
+    if (rec != nullptr) {
+      rec->record_span(metrics::Span::kLockedRead,
+                       metrics::delta_ns(read_start, SteadyClock::now()));
+    }
+    return code;
   }
-  return gets_locked(key, out, flags, cas, stages, /*pay_modelled_cost=*/true);
+  const StatusCode code =
+      gets_locked(key, out, flags, cas, stages, /*pay_modelled_cost=*/true);
+  if (rec != nullptr) {
+    rec->record_span(metrics::Span::kLockedRead,
+                     metrics::delta_ns(read_start, SteadyClock::now()));
+  }
+  return code;
 }
 
 StatusCode HybridSlabManager::gets_locked(std::string_view key,

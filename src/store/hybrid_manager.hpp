@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/epoch.hpp"
+#include "common/metrics.hpp"
 #include "common/sim_time.hpp"
 #include "common/stage.hpp"
 #include "common/status.hpp"
@@ -94,6 +95,12 @@ struct ManagerConfig {
   /// on conflict/miss/SSD residency. Results are byte-identical either way;
   /// off restores the pre-optimistic, strictly-locked behaviour.
   bool optimistic_reads = true;
+  /// Optional latency recorder for store-phase spans (optimistic vs locked
+  /// reads, SSD flush attempts). Not owned; must outlive the manager. The
+  /// server injects its recorder here; bare managers default to nullptr and
+  /// pay zero recording cost. ShardedManager copies the pointer into every
+  /// shard's config, so all shards record into the same recorder.
+  metrics::LatencyRecorder* latency = nullptr;
 };
 
 struct ManagerStats {
@@ -292,7 +299,10 @@ class HybridSlabManager {
 
   /// Flushes up to flush_batch_bytes of LRU-tail items of `cls` to the SSD.
   /// Returns false if the class had nothing to flush. Lock juggling as above.
+  /// flush_batch is the recording wrapper (Span::kSsdFlush); do_flush_batch
+  /// does the work.
   bool flush_batch(unsigned cls, std::unique_lock<std::mutex>& lock);
+  bool do_flush_batch(unsigned cls, std::unique_lock<std::mutex>& lock);
 
   /// Drops the LRU-tail item of `cls` (or of the fullest other class when
   /// empty). Returns false when nothing anywhere is evictable.

@@ -37,6 +37,11 @@
 // flushes fail stops flushing and heals on its own probe timer while the
 // other shards keep using the SSD.
 //
+// Observability: the per-shard configs inherit ManagerConfig::latency from
+// the facade config, so every shard records its read-path and flush spans
+// into the same LatencyRecorder (whose slots are per-*thread*, not
+// per-shard -- concurrent shards never contend on a slot they don't share).
+//
 // Sizing: the configured RAM arena and SSD cap are split evenly over the
 // shards (like the testbed splits cluster memory over servers). A shard is
 // never given less than one slab page; the auto shard count (config.shards

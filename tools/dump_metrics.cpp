@@ -1,0 +1,18 @@
+// Emits every metric name the server's stats surfaces can produce, one per
+// line: the legacy `stats` rows, then the `stats latency` rows. This is the
+// machine-readable side of the docs contract -- scripts/check_metrics_docs.sh
+// diffs this output against docs/METRICS.md so a counter can't ship
+// undocumented (wired into ctest as `docs_metrics_consistency`).
+#include <cstdio>
+
+#include "server/server.hpp"
+
+int main() {
+  for (const std::string_view name : hykv::server::stats_field_names()) {
+    std::printf("%.*s\n", static_cast<int>(name.size()), name.data());
+  }
+  for (const std::string& name : hykv::server::latency_field_names()) {
+    std::printf("%s\n", name.c_str());
+  }
+  return 0;
+}
