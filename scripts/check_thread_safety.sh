@@ -1,0 +1,110 @@
+#!/usr/bin/env sh
+# Negative-compile check for the thread-safety annotations: proves that the
+# macros in src/common/thread_annotations.hpp are not silently inert -- a
+# guarded field touched without its lock, and a REQUIRES method called
+# unlocked, must BOTH fail to compile under clang -Werror=thread-safety.
+# A correctly locked control snippet must still compile, so a macro typo
+# cannot pass by breaking everything.
+#
+#   usage: check_thread_safety.sh <repo-root> [clang++-binary]
+#
+# Exit codes: 0 = annotations fire as designed; 1 = a probe compiled that
+# must not (or the control failed); 77 = no clang++ available, skipped
+# (ctest SKIP_RETURN_CODE; GCC ignores the attributes so only clang can run
+# this). Run by ctest as `thread_safety_negative_compile` and by the CI lint
+# job.
+set -eu
+
+if [ "$#" -lt 1 ] || [ "$#" -gt 2 ]; then
+    echo "usage: $0 <repo-root> [clang++-binary]" >&2
+    exit 2
+fi
+
+root="$1"
+cxx="${2:-${HYKV_CLANGXX:-clang++}}"
+
+if ! command -v "$cxx" >/dev/null 2>&1; then
+    echo "skip: no clang++ on PATH (the analysis is clang-only)" >&2
+    exit 77
+fi
+if ! "$cxx" --version 2>/dev/null | grep -qi clang; then
+    echo "skip: $cxx is not clang (the analysis is clang-only)" >&2
+    exit 77
+fi
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT INT TERM
+
+flags="-std=c++20 -I$root/src -Wthread-safety -Werror=thread-safety -fsyntax-only"
+
+# Shared fixture: one guarded counter behind the repo's annotated wrappers.
+cat > "$tmpdir/fixture.hpp" <<'EOF'
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+struct Counter {
+  void bump_locked() REQUIRES(mu_) { ++value_; }
+  void bump() EXCLUDES(mu_) {
+    const hykv::MutexLock lock(mu_);
+    ++value_;
+  }
+  hykv::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+EOF
+
+# Control: correct locking must compile clean.
+cat > "$tmpdir/control.cpp" <<'EOF'
+#include "fixture.hpp"
+int main() {
+  Counter c;
+  c.bump();
+  const hykv::MutexLock lock(c.mu_);
+  c.bump_locked();
+  return c.value_;
+}
+EOF
+
+# Probe 1: guarded field touched without the lock.
+cat > "$tmpdir/unguarded_field.cpp" <<'EOF'
+#include "fixture.hpp"
+int main() {
+  Counter c;
+  return ++c.value_;  // no lock held: must not compile
+}
+EOF
+
+# Probe 2: REQUIRES method called without the lock.
+cat > "$tmpdir/requires_unlocked.cpp" <<'EOF'
+#include "fixture.hpp"
+int main() {
+  Counter c;
+  c.bump_locked();  // no lock held: must not compile
+  return 0;
+}
+EOF
+
+fail=0
+
+if ! "$cxx" $flags -I"$tmpdir" "$tmpdir/control.cpp" 2> "$tmpdir/control.log"; then
+    echo "FAIL: correctly locked control snippet did not compile:" >&2
+    cat "$tmpdir/control.log" >&2
+    fail=1
+else
+    echo "ok: control snippet compiles clean"
+fi
+
+for probe in unguarded_field requires_unlocked; do
+    if "$cxx" $flags -I"$tmpdir" "$tmpdir/$probe.cpp" 2> "$tmpdir/$probe.log"; then
+        echo "FAIL: probe $probe compiled but must trigger -Werror=thread-safety" >&2
+        fail=1
+    elif ! grep -q "thread-safety" "$tmpdir/$probe.log"; then
+        echo "FAIL: probe $probe failed for a reason other than thread safety:" >&2
+        cat "$tmpdir/$probe.log" >&2
+        fail=1
+    else
+        echo "ok: probe $probe rejected ($(grep -c 'warning\|error' "$tmpdir/$probe.log") diagnostics)"
+    fi
+done
+
+exit "$fail"

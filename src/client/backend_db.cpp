@@ -5,14 +5,14 @@
 namespace hykv::client {
 
 void BackendDb::put(std::string_view key, std::vector<char> value) {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   data_[std::string(key)] = std::move(value);
 }
 
 std::optional<std::vector<char>> BackendDb::fetch(std::string_view key) {
   std::optional<std::vector<char>> result;
   {
-    const std::scoped_lock lock(mu_);
+    const MutexLock lock(mu_);
     ++fetches_;
     auto it = data_.find(std::string(key));
     if (it != data_.end()) result = it->second;
@@ -25,7 +25,7 @@ std::optional<std::vector<char>> BackendDb::fetch(std::string_view key) {
 }
 
 std::uint64_t BackendDb::fetches() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return fetches_;
 }
 

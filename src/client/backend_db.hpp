@@ -9,14 +9,15 @@
 #pragma once
 
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/profiles.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace hykv::client {
 
@@ -30,20 +31,20 @@ class BackendDb {
 
   /// Stores authoritative data (no penalty: writes to the backend happen on
   /// a path the paper does not measure).
-  void put(std::string_view key, std::vector<char> value);
+  void put(std::string_view key, std::vector<char> value) EXCLUDES(mu_);
 
   /// Fetches with the modelled miss penalty applied.
-  std::optional<std::vector<char>> fetch(std::string_view key);
+  std::optional<std::vector<char>> fetch(std::string_view key) EXCLUDES(mu_);
 
-  [[nodiscard]] std::uint64_t fetches() const;
+  [[nodiscard]] std::uint64_t fetches() const EXCLUDES(mu_);
   [[nodiscard]] const BackendDbProfile& profile() const noexcept { return profile_; }
 
  private:
   BackendDbProfile profile_;
   Resolver resolver_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::vector<char>> data_;
-  std::uint64_t fetches_ = 0;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, std::vector<char>> data_ GUARDED_BY(mu_);
+  std::uint64_t fetches_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace hykv::client

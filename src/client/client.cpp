@@ -39,7 +39,7 @@ Client::Client(net::Fabric& fabric, ClientConfig config, BackendDb* backend)
 
 Client::~Client() {
   {
-    const std::scoped_lock lock(pending_mu_);
+    const MutexLock lock(pending_mu_);
     closed_ = true;
   }
   tx_queue_.close();   // TX drains remaining jobs, then exits
@@ -53,7 +53,7 @@ Client::~Client() {
 void Client::complete_all_pending(StatusCode status) {
   std::unordered_map<std::uint64_t, Pending> orphans;
   {
-    const std::scoped_lock lock(pending_mu_);
+    const MutexLock lock(pending_mu_);
     orphans.swap(pending_);
     pending_per_server_.clear();  // every window occupant is being orphaned
   }
@@ -154,7 +154,7 @@ void Client::rx_main() {
 
     Pending pend;
     {
-      const std::scoped_lock lock(pending_mu_);
+      const MutexLock lock(pending_mu_);
       auto it = pending_.find(msg.value().wr_id);
       if (it == pending_.end()) {
         HYKV_WARN("client %llu: stale response wr=%llu",
@@ -181,7 +181,7 @@ void Client::rx_main() {
       }
     }
     if (pend.is_get) {
-      const std::scoped_lock lock(metrics_mu_);
+      const MutexLock lock(metrics_mu_);
       if (ok(status)) {
         ++counters_.hits;
       } else if (status == StatusCode::kNotFound) {
@@ -218,20 +218,20 @@ void Client::signal_completion(Request& req, StatusCode status,
   // After this point `req` may be gone: the lock-unlock pairs with a waiter
   // between its predicate check and its sleep (lost-wakeup prevention); the
   // notify touches only the client-owned cv.
-  { const std::scoped_lock lock(completion_mu_); }
+  { const MutexLock lock(completion_mu_); }
   completion_cv_.notify_all();
 }
 
 void Client::signal_sent(std::uint64_t wr_id) {
   {
-    const std::scoped_lock lock(pending_mu_);
+    const MutexLock lock(pending_mu_);
     auto it = pending_.find(wr_id);
     // Entry gone => the request already completed (done_ implies sent);
     // its owner may have destroyed it, so it must not be dereferenced.
     if (it == pending_.end()) return;
     it->second.req->sent_.store(true, std::memory_order_release);
   }
-  { const std::scoped_lock lock(completion_mu_); }
+  { const MutexLock lock(completion_mu_); }
   completion_cv_.notify_all();
 }
 
@@ -246,14 +246,14 @@ StatusCode Client::issue(TxJob job, Request& req, int slot, bool is_get,
   if (!ring_.accepting(job.server)) {
     // Target is ejected and not yet due for a probe: fail fast instead of
     // letting the request burn its whole deadline against a dead server.
-    const std::scoped_lock lock(metrics_mu_);
+    const MutexLock lock(metrics_mu_);
     ++counters_.server_down;
     return StatusCode::kServerDown;
   }
   std::uint64_t wr_id = 0;
   bool window_full = false;
   {
-    const std::scoped_lock lock(pending_mu_);
+    const MutexLock lock(pending_mu_);
     if (closed_) return StatusCode::kShutdown;
     if (config_.max_pending_per_server > 0) {
       std::size_t& inflight = pending_per_server_[job.server];
@@ -274,7 +274,7 @@ StatusCode Client::issue(TxJob job, Request& req, int slot, bool is_get,
   if (window_full) {
     // Fail fast at the source: the caller learns immediately that this
     // server's window is saturated instead of queueing yet more work.
-    const std::scoped_lock lock(metrics_mu_);
+    const MutexLock lock(metrics_mu_);
     ++counters_.busy_fail_fast;
     return StatusCode::kBusy;
   }
@@ -290,7 +290,7 @@ StatusCode Client::issue(TxJob job, Request& req, int slot, bool is_get,
   const net::EndpointId server = job.server;
   if (!tx_queue_.push(std::move(job))) {
     {
-      const std::scoped_lock lock(pending_mu_);
+      const MutexLock lock(pending_mu_);
       pending_.erase(wr_id);
     }
     release_pending_window(server);
@@ -311,7 +311,7 @@ StatusCode Client::iset(std::string_view key, std::span<const char> value,
   job.flags = flags;
   job.expiration = expiration;
   {
-    const std::scoped_lock lock(metrics_mu_);
+    const MutexLock lock(metrics_mu_);
     ++counters_.nonblocking_issued;
   }
   return issue(std::move(job), req, /*slot=*/-1, /*is_get=*/false, {});
@@ -345,7 +345,7 @@ StatusCode Client::bset(std::string_view key, std::span<const char> value,
     job.value = job.owned_value;
   }
   {
-    const std::scoped_lock lock(metrics_mu_);
+    const MutexLock lock(metrics_mu_);
     ++counters_.nonblocking_issued;
   }
   const StatusCode code = issue(std::move(job), req, slot, /*is_get=*/false, {});
@@ -367,7 +367,7 @@ StatusCode Client::iget(std::string_view key, std::span<char> dest, Request& req
   // Destination registration is modelled via the value span (engine-side).
   job.value = std::span<const char>(dest.data(), dest.size());
   {
-    const std::scoped_lock lock(metrics_mu_);
+    const MutexLock lock(metrics_mu_);
     ++counters_.nonblocking_issued;
   }
   return issue(std::move(job), req, /*slot=*/-1, /*is_get=*/true, dest);
@@ -390,7 +390,7 @@ void Client::wait(Request& req) {
   }
   const auto start = std::chrono::steady_clock::now();
   park_until([&req] { return req.done(); });
-  const std::scoped_lock lock(metrics_mu_);
+  const MutexLock lock(metrics_mu_);
   stages_.add(Stage::kClientWait, std::chrono::steady_clock::now() - start);
   stages_.add_ops();
 }
@@ -413,7 +413,7 @@ StatusCode Client::run_attempts(
       // bucket runs dry the last status stands -- under saturation the
       // client converges instead of amplifying load into a retry storm.
       if (!try_spend_retry_token()) break;
-      const std::scoped_lock lock(metrics_mu_);
+      const MutexLock lock(metrics_mu_);
       ++counters_.retries;
     }
     const StatusCode issued = issue_attempt(req);
@@ -467,7 +467,7 @@ StatusCode Client::set(std::string_view key, std::span<const char> value,
       [&](Request& r) { return bset(key, value, flags, expiration, r); },
       /*idempotent=*/true);
   {
-    const std::scoped_lock lock(metrics_mu_);
+    const MutexLock lock(metrics_mu_);
     ++counters_.sets;
   }
   return code;
@@ -480,7 +480,7 @@ StatusCode Client::get(std::string_view key, std::vector<char>& out,
       req, [&](Request& r) { return bget(key, scratch_, r); },
       /*idempotent=*/true);
   {
-    const std::scoped_lock lock(metrics_mu_);
+    const MutexLock lock(metrics_mu_);
     ++counters_.gets;
   }
   if (ok(code)) {
@@ -495,7 +495,7 @@ StatusCode Client::get(std::string_view key, std::vector<char>& out,
     const auto miss_start = std::chrono::steady_clock::now();
     auto value = backend_->fetch(key);
     {
-      const std::scoped_lock lock(metrics_mu_);
+      const MutexLock lock(metrics_mu_);
       stages_.add(Stage::kMissPenalty,
                   std::chrono::steady_clock::now() - miss_start);
       ++counters_.backend_fetches;
@@ -525,7 +525,7 @@ StatusCode Client::del(std::string_view key) {
       },
       /*idempotent=*/true);
   {
-    const std::scoped_lock lock(metrics_mu_);
+    const MutexLock lock(metrics_mu_);
     ++counters_.deletes;
   }
   return code;
@@ -762,7 +762,7 @@ StatusCode Client::cancel(Request& req) {
   bool removed = false;
   net::EndpointId server = net::kInvalidEndpoint;
   {
-    const std::scoped_lock lock(pending_mu_);
+    const MutexLock lock(pending_mu_);
     auto it = pending_.find(req.wr_id_);
     if (it != pending_.end() && it->second.req == &req) {
       if (it->second.slot >= 0) free_slots_.push(it->second.slot);
@@ -777,7 +777,7 @@ StatusCode Client::cancel(Request& req) {
     // consecutive ones eject it from the ring (failover).
     ring_.record_failure(server);
     {
-      const std::scoped_lock lock(metrics_mu_);
+      const MutexLock lock(metrics_mu_);
       ++counters_.timeouts;
     }
     signal_completion(req, StatusCode::kTimedOut, 0, 0);
@@ -792,11 +792,12 @@ StatusCode Client::wait_for(Request& req, sim::Nanos timeout) {
   const auto start = std::chrono::steady_clock::now();
   const auto deadline = start + timeout;
   {
-    std::unique_lock lock(completion_mu_);
-    completion_cv_.wait_until(lock, deadline, [&req] { return req.done(); });
+    const MutexLock lock(completion_mu_);
+    completion_cv_.wait_until(completion_mu_, deadline,
+                              [&req] { return req.done(); });
   }
   {
-    const std::scoped_lock lock(metrics_mu_);
+    const MutexLock lock(metrics_mu_);
     stages_.add(Stage::kClientWait, std::chrono::steady_clock::now() - start);
     stages_.add_ops();
   }
@@ -805,18 +806,18 @@ StatusCode Client::wait_for(Request& req, sim::Nanos timeout) {
 }
 
 StageBreakdown Client::breakdown() const {
-  const std::scoped_lock lock(metrics_mu_);
+  const MutexLock lock(metrics_mu_);
   return stages_;
 }
 
 ClientCounters Client::counters() const {
-  const std::scoped_lock lock(metrics_mu_);
+  const MutexLock lock(metrics_mu_);
   return counters_;
 }
 
 bool Client::try_spend_retry_token() {
   if (config_.retry_budget == 0) return true;  // unlimited
-  const std::scoped_lock lock(metrics_mu_);
+  const MutexLock lock(metrics_mu_);
   if (retry_tokens_ == 0) {
     ++counters_.retry_budget_exhausted;
     return false;
@@ -826,7 +827,7 @@ bool Client::try_spend_retry_token() {
 }
 
 void Client::note_response(StatusCode status) {
-  const std::scoped_lock lock(metrics_mu_);
+  const MutexLock lock(metrics_mu_);
   if (status == StatusCode::kBusy) {
     ++counters_.busy;
     return;
@@ -840,7 +841,7 @@ void Client::note_response(StatusCode status) {
 
 void Client::release_pending_window(net::EndpointId server) {
   if (config_.max_pending_per_server == 0) return;
-  const std::scoped_lock lock(pending_mu_);
+  const MutexLock lock(pending_mu_);
   auto it = pending_per_server_.find(server);
   if (it == pending_per_server_.end()) return;
   if (--it->second == 0) pending_per_server_.erase(it);
@@ -852,7 +853,7 @@ LatencyHistogram Client::op_latency(metrics::Op op) const {
 
 void Client::reset_metrics() {
   {
-    const std::scoped_lock lock(metrics_mu_);
+    const MutexLock lock(metrics_mu_);
     stages_.reset();
     counters_ = ClientCounters{};
     retry_tokens_ = config_.retry_budget;

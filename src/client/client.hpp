@@ -30,7 +30,6 @@
 #include <optional>
 #include <span>
 #include <string_view>
-#include <condition_variable>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -39,9 +38,11 @@
 #include "client/request.hpp"
 #include "client/ring.hpp"
 #include "common/metrics.hpp"
+#include "common/mutex.hpp"
 #include "common/queue.hpp"
 #include "common/stage.hpp"
 #include "common/sim_time.hpp"
+#include "common/thread_annotations.hpp"
 #include "net/fabric.hpp"
 
 namespace hykv::client {
@@ -235,8 +236,8 @@ class Client {
   }
   /// Requests currently registered in the pending map (0 once every issued
   /// request reached a terminal status).
-  [[nodiscard]] std::size_t pending_requests() const {
-    const std::scoped_lock lock(pending_mu_);
+  [[nodiscard]] std::size_t pending_requests() const EXCLUDES(pending_mu_) {
+    const MutexLock lock(pending_mu_);
     return pending_.size();
   }
 
@@ -272,11 +273,13 @@ class Client {
   /// the pending map -- once a request completes (and may be destroyed by
   /// its owner) it is no longer reachable from here.
   void signal_sent(std::uint64_t wr_id);
-  /// Parks until the predicate holds (predicate may read request atomics).
+  /// Parks until the predicate holds (predicate may read request atomics,
+  /// never state guarded by completion_mu_ -- the lock only serialises the
+  /// sleep/notify handshake).
   template <typename Pred>
-  void park_until(Pred&& pred) {
-    std::unique_lock lock(completion_mu_);
-    completion_cv_.wait(lock, std::forward<Pred>(pred));
+  void park_until(Pred&& pred) EXCLUDES(completion_mu_) {
+    const MutexLock lock(completion_mu_);
+    completion_cv_.wait(completion_mu_, std::forward<Pred>(pred));
   }
   StatusCode issue(TxJob job, Request& req, int slot, bool is_get,
                    std::span<char> dest);
@@ -302,7 +305,7 @@ class Client {
   /// Drops the per-server in-flight count for an unregistered request.
   /// Call after erasing its pending-map entry (no-op when the window is off).
   void release_pending_window(net::EndpointId server);
-  std::uint64_t next_wr_id() { return wr_id_seq_++; }
+  std::uint64_t next_wr_id() REQUIRES(pending_mu_) { return wr_id_seq_++; }
 
   net::Fabric& fabric_;
   ClientConfig config_;
@@ -321,27 +324,28 @@ class Client {
   // Completion signalling: requests carry only atomic flags; sleeping
   // waiters park on this client-wide cv so the progress threads never touch
   // a (possibly already destroyed) per-request cv. See request.hpp.
-  std::mutex completion_mu_;
-  std::condition_variable completion_cv_;
+  Mutex completion_mu_;
+  CondVar completion_cv_;
 
-  mutable std::mutex pending_mu_;
-  std::unordered_map<std::uint64_t, Pending> pending_;
+  mutable Mutex pending_mu_;
+  std::unordered_map<std::uint64_t, Pending> pending_ GUARDED_BY(pending_mu_);
   /// In-flight requests per server; maintained only when
-  /// max_pending_per_server > 0 (guarded by pending_mu_).
-  std::unordered_map<net::EndpointId, std::size_t> pending_per_server_;
-  std::uint64_t wr_id_seq_ = 1;
-  bool closed_ = false;
+  /// max_pending_per_server > 0.
+  std::unordered_map<net::EndpointId, std::size_t> pending_per_server_
+      GUARDED_BY(pending_mu_);
+  std::uint64_t wr_id_seq_ GUARDED_BY(pending_mu_) = 1;
+  bool closed_ GUARDED_BY(pending_mu_) = false;
 
-  mutable std::mutex metrics_mu_;
-  StageBreakdown stages_;
-  ClientCounters counters_;
+  mutable Mutex metrics_mu_;
+  StageBreakdown stages_ GUARDED_BY(metrics_mu_);
+  ClientCounters counters_ GUARDED_BY(metrics_mu_);
   /// Issue->complete histograms (null when record_latency is off). Written
   /// by whichever thread completes a request (rx, cancel, shutdown) --
   /// recorder slots are atomic, so no lock is involved.
   std::unique_ptr<metrics::LatencyRecorder> latency_;
-  /// Retry-token bucket (guarded by metrics_mu_); starts full at
-  /// config_.retry_budget and is refunded by successful round trips.
-  std::uint64_t retry_tokens_ = 0;
+  /// Retry-token bucket; starts full at config_.retry_budget and is
+  /// refunded by successful round trips.
+  std::uint64_t retry_tokens_ GUARDED_BY(metrics_mu_) = 0;
 
   std::vector<char> scratch_;  ///< Blocking-get destination buffer.
 };

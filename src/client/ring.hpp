@@ -10,7 +10,6 @@
 // it, failure re-arms the probe timer. All methods are thread-safe.
 #pragma once
 
-#include <mutex>
 #include <map>
 #include <stdexcept>
 #include <string>
@@ -19,6 +18,8 @@
 #include <vector>
 
 #include "common/hash.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/sim_time.hpp"
 #include "net/message.hpp"
 
@@ -56,10 +57,11 @@ class ServerRing {
   /// A dead server whose probe timer expired counts as live (half-open); if
   /// every server is dead and none is probe-due, the primary owner is
   /// returned so the request fails fast with a terminal status.
-  [[nodiscard]] net::EndpointId select(std::string_view key) const {
+  [[nodiscard]] net::EndpointId select(std::string_view key) const
+      EXCLUDES(mu_) {
     if (servers_.size() == 1) return servers_.front();
     const std::uint64_t h = xxh64(key);
-    const std::scoped_lock lock(mu_);
+    const MutexLock lock(mu_);
     if (dead_count_ == 0) return owner_at(h);  // fast path: all healthy
     auto it = ring_.lower_bound(h);
     for (std::size_t hops = 0; hops < ring_.size(); ++hops, ++it) {
@@ -74,8 +76,8 @@ class ServerRing {
   /// A kBusy response must NEVER be recorded here: an overloaded server is
   /// alive (it answered!), and ejecting it would dogpile its keys onto the
   /// ring neighbours -- spreading the overload instead of containing it.
-  void record_failure(net::EndpointId server) {
-    const std::scoped_lock lock(mu_);
+  void record_failure(net::EndpointId server) EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     auto it = health_.find(server);
     if (it == health_.end()) return;
     Health& h = it->second;
@@ -89,8 +91,8 @@ class ServerRing {
 
   /// Records a successful operation: clears the failure streak and readmits
   /// the server if it was ejected.
-  void record_success(net::EndpointId server) {
-    const std::scoped_lock lock(mu_);
+  void record_success(net::EndpointId server) EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     auto it = health_.find(server);
     if (it == health_.end()) return;
     Health& h = it->second;
@@ -101,8 +103,8 @@ class ServerRing {
     }
   }
 
-  [[nodiscard]] bool is_dead(net::EndpointId server) const {
-    const std::scoped_lock lock(mu_);
+  [[nodiscard]] bool is_dead(net::EndpointId server) const EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     auto it = health_.find(server);
     return it != health_.end() && it->second.dead;
   }
@@ -110,13 +112,13 @@ class ServerRing {
   /// Whether a request may be issued to `server` right now: healthy, or dead
   /// but due for a half-open probe. Requests to non-accepting servers should
   /// fail fast with kServerDown instead of burning their deadline.
-  [[nodiscard]] bool accepting(net::EndpointId server) const {
-    const std::scoped_lock lock(mu_);
+  [[nodiscard]] bool accepting(net::EndpointId server) const EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     return selectable_locked(server);
   }
 
-  [[nodiscard]] std::size_t dead_count() const {
-    const std::scoped_lock lock(mu_);
+  [[nodiscard]] std::size_t dead_count() const EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     return dead_count_;
   }
 
@@ -139,7 +141,8 @@ class ServerRing {
     return it->second;
   }
 
-  [[nodiscard]] bool selectable_locked(net::EndpointId server) const {
+  [[nodiscard]] bool selectable_locked(net::EndpointId server) const
+      REQUIRES(mu_) {
     auto it = health_.find(server);
     if (it == health_.end() || !it->second.dead) return true;
     // Half-open probe: once the timer expires the dead server is offered
@@ -151,9 +154,9 @@ class ServerRing {
   FailoverPolicy policy_;
   std::map<std::uint64_t, net::EndpointId> ring_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<net::EndpointId, Health> health_;
-  std::size_t dead_count_ = 0;
+  mutable Mutex mu_;
+  std::unordered_map<net::EndpointId, Health> health_ GUARDED_BY(mu_);
+  std::size_t dead_count_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace hykv::client

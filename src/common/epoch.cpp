@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <array>
-#include <mutex>
 #include <unordered_set>
+
+#include "common/mutex.hpp"
 
 namespace hykv::epoch {
 namespace {
@@ -19,8 +20,8 @@ namespace {
 // Intentionally leaked so thread-exit destructors never race static teardown.
 
 struct Registry {
-  std::mutex mu;
-  std::unordered_set<std::uint64_t> live;
+  Mutex mu;
+  std::unordered_set<std::uint64_t> live GUARDED_BY(mu);
 };
 
 Registry& registry() {
@@ -58,7 +59,7 @@ struct ThreadCache {
   static void release(Registration& reg) {
     if (reg.slot == nullptr) return;
     Registry& r = registry();
-    const std::scoped_lock lock(r.mu);
+    const MutexLock lock(r.mu);
     if (r.live.contains(reg.domain_id)) {
       reg.slot->epoch.store(0, std::memory_order_release);
       reg.slot->claimed.store(false, std::memory_order_release);
@@ -106,13 +107,13 @@ thread_local ThreadCache tls_cache;
 Domain::Domain(std::size_t max_readers)
     : id_(next_domain_id()), slots_(max_readers == 0 ? 1 : max_readers) {
   Registry& r = registry();
-  const std::scoped_lock lock(r.mu);
+  const MutexLock lock(r.mu);
   r.live.insert(id_);
 }
 
 Domain::~Domain() {
   Registry& r = registry();
-  const std::scoped_lock lock(r.mu);
+  const MutexLock lock(r.mu);
   r.live.erase(id_);
 }
 

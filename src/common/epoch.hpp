@@ -33,6 +33,8 @@
 #include <deque>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
+
 namespace hykv::epoch {
 
 class Domain {
@@ -82,9 +84,12 @@ class Domain {
   [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
 
  private:
+  // Lock-free by design: reader pin/unpin and epoch advancement are the
+  // whole point of EBR -- no capability guards any of this state.
   struct alignas(64) Slot {
-    std::atomic<std::uint64_t> epoch{0};  ///< 0 = quiescent.
-    std::atomic<bool> claimed{false};
+    std::atomic<std::uint64_t> epoch
+        ATOMIC_PUBLISHED(seq_cst pin protocol, see enter()){0};  ///< 0 = quiescent.
+    std::atomic<bool> claimed ATOMIC_PUBLISHED(acq_rel CAS claim){false};
   };
 
   friend struct ThreadCache;
@@ -96,9 +101,11 @@ class Domain {
   Slot* claim_slot() noexcept;
 
   std::uint64_t id_;
-  std::atomic<std::uint64_t> epoch_{1};
-  std::vector<Slot> slots_;
-  std::atomic<std::size_t> high_water_{0};  ///< Slots ever claimed (scan bound).
+  std::atomic<std::uint64_t> epoch_
+      ATOMIC_PUBLISHED(seq_cst advance protocol, see try_advance()){1};
+  std::vector<Slot> slots_;  ///< Sized once in the constructor; cells atomic.
+  std::atomic<std::size_t> high_water_
+      ATOMIC_PUBLISHED(release CAS scan bound){0};  ///< Slots ever claimed.
 };
 
 /// The process-wide domain the storage tier uses. One domain (not one per

@@ -5,14 +5,16 @@
 #include <cstdlib>
 #include <string_view>
 #include <cstdio>
-#include <mutex>
 #include <thread>
+
+#include "common/mutex.hpp"
 
 namespace hykv {
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_log_mu;
+std::atomic<LogLevel> g_level ATOMIC_PUBLISHED(relaxed level gate){
+    LogLevel::kWarn};
+Mutex g_log_mu;  ///< Serialises stderr lines only; guards no program state.
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -51,7 +53,7 @@ void log_message(LogLevel level, const char* fmt, ...) {
   va_start(args, fmt);
   std::vsnprintf(body, sizeof(body), fmt, args);
   va_end(args);
-  const std::scoped_lock lock(g_log_mu);
+  const MutexLock lock(g_log_mu);
   std::fprintf(stderr, "[%12lld.%06llds %s t=%zx] %s\n",
                static_cast<long long>(now / 1000000),
                static_cast<long long>(now % 1000000), level_name(level),

@@ -113,7 +113,7 @@ bool OpTracer::sample(std::uint64_t& seq) noexcept {
 void OpTracer::publish(const Trace& trace) {
   if (rings_.empty()) return;
   Ring& ring = rings_[thread_token() % rings_.size()];
-  const std::scoped_lock lock(ring.mu);
+  const MutexLock lock(ring.mu);
   if (ring.buf.size() < capacity_) {
     ring.buf.push_back(trace);
   } else {
@@ -125,7 +125,7 @@ void OpTracer::publish(const Trace& trace) {
 std::vector<Trace> OpTracer::snapshot() const {
   std::vector<Trace> out;
   for (const Ring& ring : rings_) {
-    const std::scoped_lock lock(ring.mu);
+    const MutexLock lock(ring.mu);
     out.insert(out.end(), ring.buf.begin(), ring.buf.end());
   }
   std::sort(out.begin(), out.end(),
@@ -160,7 +160,7 @@ std::string OpTracer::to_json() const {
 
 void OpTracer::reset() {
   for (Ring& ring : rings_) {
-    const std::scoped_lock lock(ring.mu);
+    const MutexLock lock(ring.mu);
     ring.buf.clear();
     ring.next = 0;
   }

@@ -24,13 +24,14 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/histogram.hpp"
+#include "common/mutex.hpp"
 #include "common/sim_time.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace hykv::metrics {
 
@@ -106,12 +107,14 @@ class AtomicHistogram {
   void reset() noexcept;
 
  private:
+  // All-atomic by design (lock-free hot path, relaxed order; snapshots are
+  // merely eventually exact) -- see the class comment.
   std::array<std::atomic<std::uint64_t>, LatencyHistogram::kBucketCount>
-      buckets_{};
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<std::uint64_t> sum_{0};
-  std::atomic<std::uint64_t> min_{UINT64_MAX};
-  std::atomic<std::uint64_t> max_{0};
+      buckets_ ATOMIC_PUBLISHED(relaxed histogram cells){};
+  std::atomic<std::uint64_t> count_ ATOMIC_PUBLISHED(relaxed counter){0};
+  std::atomic<std::uint64_t> sum_ ATOMIC_PUBLISHED(relaxed counter){0};
+  std::atomic<std::uint64_t> min_ ATOMIC_PUBLISHED(CAS loop){UINT64_MAX};
+  std::atomic<std::uint64_t> max_ ATOMIC_PUBLISHED(CAS loop){0};
 };
 
 /// Fixed-memory latency recorder: `slots` cache-line-aligned groups of
@@ -205,15 +208,15 @@ class OpTracer {
 
  private:
   struct alignas(64) Ring {
-    mutable std::mutex mu;
-    std::vector<Trace> buf;     ///< reserved to capacity up front
-    std::size_t next = 0;       ///< write cursor once buf is full
+    mutable Mutex mu;
+    std::vector<Trace> buf GUARDED_BY(mu);  ///< reserved to capacity up front
+    std::size_t next GUARDED_BY(mu) = 0;    ///< write cursor once buf is full
   };
 
-  unsigned shift_;
+  unsigned shift_;      ///< Immutable after construction.
   std::uint64_t mask_;  ///< (1 << shift_) - 1; sampled when (seq & mask_) == 0
   std::size_t capacity_;
-  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint64_t> seq_ ATOMIC_PUBLISHED(relaxed sampling seq){0};
   std::vector<Ring> rings_;
 };
 

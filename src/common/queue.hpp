@@ -6,12 +6,13 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace hykv {
 
@@ -24,22 +25,23 @@ class BlockingQueue {
   explicit BlockingQueue(std::size_t capacity = 0) : capacity_(capacity) {}
 
   /// Blocks while the queue is full (bounded mode). Returns false iff closed.
-  bool push(T value) {
-    std::unique_lock lock(mu_);
-    not_full_.wait(lock, [&] {
-      return closed_ || capacity_ == 0 || items_.size() < capacity_;
-    });
-    if (closed_) return false;
-    items_.push_back(std::move(value));
-    lock.unlock();
+  bool push(T value) EXCLUDES(mu_) {
+    {
+      const MutexLock lock(mu_);
+      not_full_.wait(mu_, [&]() REQUIRES(mu_) {
+        return closed_ || capacity_ == 0 || items_.size() < capacity_;
+      });
+      if (closed_) return false;
+      items_.push_back(std::move(value));
+    }
     not_empty_.notify_one();
     return true;
   }
 
   /// Non-blocking push; fails when full or closed.
-  bool try_push(T value) {
+  bool try_push(T value) EXCLUDES(mu_) {
     {
-      const std::scoped_lock lock(mu_);
+      const MutexLock lock(mu_);
       if (closed_ || (capacity_ != 0 && items_.size() >= capacity_)) return false;
       items_.push_back(std::move(value));
     }
@@ -49,71 +51,79 @@ class BlockingQueue {
 
   /// Blocks until an element is available or the queue is closed *and*
   /// drained. Returns nullopt only on closed-and-empty.
-  std::optional<T> pop() {
-    std::unique_lock lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
-    T value = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
+  std::optional<T> pop() EXCLUDES(mu_) {
+    std::optional<T> value;
+    {
+      const MutexLock lock(mu_);
+      not_empty_.wait(mu_,
+                      [&]() REQUIRES(mu_) { return closed_ || !items_.empty(); });
+      if (items_.empty()) return std::nullopt;
+      value = std::move(items_.front());
+      items_.pop_front();
+    }
     not_full_.notify_one();
     return value;
   }
 
   /// Times out with nullopt; may also return nullopt on closed-and-empty.
-  std::optional<T> pop_for(std::chrono::nanoseconds timeout) {
-    std::unique_lock lock(mu_);
-    if (!not_empty_.wait_for(lock, timeout,
-                             [&] { return closed_ || !items_.empty(); })) {
-      return std::nullopt;
+  std::optional<T> pop_for(std::chrono::nanoseconds timeout) EXCLUDES(mu_) {
+    std::optional<T> value;
+    {
+      const MutexLock lock(mu_);
+      if (!not_empty_.wait_for(mu_, timeout, [&]() REQUIRES(mu_) {
+            return closed_ || !items_.empty();
+          })) {
+        return std::nullopt;
+      }
+      if (items_.empty()) return std::nullopt;
+      value = std::move(items_.front());
+      items_.pop_front();
     }
-    if (items_.empty()) return std::nullopt;
-    T value = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
     not_full_.notify_one();
     return value;
   }
 
-  std::optional<T> try_pop() {
-    std::unique_lock lock(mu_);
-    if (items_.empty()) return std::nullopt;
-    T value = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
+  std::optional<T> try_pop() EXCLUDES(mu_) {
+    std::optional<T> value;
+    {
+      const MutexLock lock(mu_);
+      if (items_.empty()) return std::nullopt;
+      value = std::move(items_.front());
+      items_.pop_front();
+    }
     not_full_.notify_one();
     return value;
   }
 
   /// Wakes all waiters; subsequent pushes fail, pops drain then return null.
-  void close() {
+  void close() EXCLUDES(mu_) {
     {
-      const std::scoped_lock lock(mu_);
+      const MutexLock lock(mu_);
       closed_ = true;
     }
     not_empty_.notify_all();
     not_full_.notify_all();
   }
 
-  [[nodiscard]] bool closed() const {
-    const std::scoped_lock lock(mu_);
+  [[nodiscard]] bool closed() const EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     return closed_;
   }
 
-  [[nodiscard]] std::size_t size() const {
-    const std::scoped_lock lock(mu_);
+  [[nodiscard]] std::size_t size() const EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     return items_.size();
   }
 
   [[nodiscard]] bool empty() const { return size() == 0; }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  std::size_t capacity_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  std::size_t capacity_;  ///< Immutable after construction.
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace hykv

@@ -1,0 +1,84 @@
+// Clang thread-safety-analysis attribute macros.
+//
+// These make the repo's lock discipline machine-checkable: fields carry
+// GUARDED_BY(mu), methods that assume a held lock carry REQUIRES(mu), and a
+// clang build with -Wthread-safety -Werror=thread-safety (the CI `lint` job,
+// see docs/STATIC_ANALYSIS.md) rejects any access that violates the contract.
+// Under GCC every macro expands to nothing, so the annotations are free for
+// the default toolchain and only clang enforces them.
+//
+// The vocabulary follows the public Clang TSA reference
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html); use it through the
+// hykv::Mutex / MutexLock / CondVar wrappers in common/mutex.hpp rather than
+// annotating std::mutex directly -- the analysis cannot see through
+// std::unique_lock juggling, but it does track direct lock()/unlock() calls
+// on an annotated capability.
+//
+// State that is deliberately NOT lock-guarded (seqlock words, atomic bucket
+// heads, epoch slots, relaxed counters) is marked ATOMIC_PUBLISHED(...) so
+// the annotation sweep doubles as documentation of which fields are
+// lock-guarded vs. atomic-published. See the lock-discipline map in
+// docs/STATIC_ANALYSIS.md.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define HYKV_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef HYKV_THREAD_ANNOTATION_
+#define HYKV_THREAD_ANNOTATION_(x)  // no-op: GCC and pre-TSA clang
+#endif
+
+/// Declares a class to be a capability (e.g. a mutex type). The string names
+/// the capability kind in diagnostics ("mutex", "role", ...).
+#define CAPABILITY(x) HYKV_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII class whose constructor acquires and destructor releases
+/// a capability (MutexLock).
+#define SCOPED_CAPABILITY HYKV_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field may only be read/written while holding `x`.
+#define GUARDED_BY(x) HYKV_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer field: the pointee (not the pointer) is protected by `x`.
+#define PT_GUARDED_BY(x) HYKV_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function acquires the listed capabilities (held on return, not on entry).
+#define ACQUIRE(...) HYKV_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (held on entry, not on return).
+#define RELEASE(...) HYKV_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Caller must hold the listed capabilities for the duration of the call.
+/// This is the contract of every `*_locked` helper in the codebase.
+#define REQUIRES(...) HYKV_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (deadlock prevention for
+/// functions that acquire them internally).
+#define EXCLUDES(...) HYKV_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function attempts acquisition; the first argument is the return value
+/// meaning success.
+#define TRY_ACQUIRE(...) \
+  HYKV_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function returns a reference to the capability `x` (accessor pattern).
+#define RETURN_CAPABILITY(x) HYKV_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Runtime assertion that the capability is held (trusted by the analysis).
+#define ASSERT_CAPABILITY(x) HYKV_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Escape hatch: function body is not analysed. Every use must carry a
+/// comment explaining why the analysis cannot express the pattern.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  HYKV_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+/// Documentation-only marker (expands to nothing under every compiler) for
+/// state that is intentionally outside any lock: published via atomics,
+/// seqlock brackets, or single-owner discipline instead. The argument is
+/// free-form prose naming the publication scheme, e.g.
+///   std::atomic<char*> ram ATOMIC_PUBLISHED(release store, seqlock bracket);
+/// The sweep rule is: every mutable shared field is either GUARDED_BY a
+/// capability or ATOMIC_PUBLISHED -- nothing is implicitly "probably fine".
+#define ATOMIC_PUBLISHED(...)

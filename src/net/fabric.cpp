@@ -32,7 +32,7 @@ Fabric::Fabric(FabricProfile profile, FaultProfile faults)
                                : nullptr) {}
 
 std::shared_ptr<Endpoint> Fabric::create_endpoint(std::string name) {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   const EndpointId id = next_id_++;
   auto ep = std::make_shared<Endpoint>(*this, id, std::move(name));
   endpoints_.emplace(id, ep);
@@ -40,16 +40,20 @@ std::shared_ptr<Endpoint> Fabric::create_endpoint(std::string name) {
 }
 
 Endpoint* Fabric::find(EndpointId id) {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   auto it = endpoints_.find(id);
   return it == endpoints_.end() ? nullptr : it->second.get();
 }
 
+// NO_THREAD_SAFETY_ANALYSIS: src/dst horizons are GUARDED_BY(fabric_.mu_)
+// and this method holds exactly that lock, but the analysis cannot prove the
+// alias src.fabric_ == *this (every endpoint belongs to the fabric that
+// created it, enforced by construction in create_endpoint).
 std::pair<sim::TimePoint, sim::TimePoint> Fabric::reserve_path(
-    Endpoint& src, Endpoint& dst, std::size_t size) {
+    Endpoint& src, Endpoint& dst, std::size_t size) NO_THREAD_SAFETY_ANALYSIS {
   const sim::Nanos occupancy = sim::scaled(occupancy_time(profile_, size));
   const sim::Nanos propagation = sim::scaled(profile_.base_latency);
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   const sim::TimePoint now = sim::now();
   sim::TimePoint start = std::max(now, src.tx_free_);
   start = std::max(start, dst.rx_free_);
@@ -77,7 +81,7 @@ SendTicket Endpoint::send(EndpointId dst, std::uint16_t opcode,
       // Partitioned: the work request "completes" locally but nothing
       // reaches the wire (the QP would eventually flush with an error; here
       // the protocol layer sees it as silence -> timeout).
-      const std::scoped_lock lock(mu_);
+      const MutexLock lock(mu_);
       ++stats_.faults_link_down;
       return SendTicket{sim::now()};
     }
@@ -87,7 +91,7 @@ SendTicket Endpoint::send(EndpointId dst, std::uint16_t opcode,
   const auto [finish, deliver_at] = fabric_.reserve_path(*this, *target, payload.size());
 
   {
-    const std::scoped_lock lock(mu_);
+    const MutexLock lock(mu_);
     ++stats_.sends;
     stats_.sent_bytes += payload.size();
     if (fault.drop) ++stats_.faults_dropped;
@@ -127,7 +131,7 @@ Result<Message> Endpoint::recv() {
   auto msg = rx_.pop();
   if (!msg.has_value()) return StatusCode::kShutdown;
   sim::wait_until(msg->deliver_at);
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   ++stats_.recvs;
   return std::move(*msg);
 }
@@ -138,7 +142,7 @@ Result<Message> Endpoint::recv_for(sim::Nanos real_timeout) {
     return rx_.closed() ? StatusCode::kShutdown : StatusCode::kTimedOut;
   }
   sim::wait_until(msg->deliver_at);
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   ++stats_.recvs;
   return std::move(*msg);
 }
@@ -147,7 +151,7 @@ MemoryRegion Endpoint::register_memory(char* addr, std::size_t len) {
   const RegCacheKey key{addr, len};
   std::optional<MemoryRegion> cached;
   {
-    const std::scoped_lock lock(mu_);
+    const MutexLock lock(mu_);
     auto it = reg_cache_.find(key);
     if (it != reg_cache_.end()) {
       ++stats_.registration_hits;
@@ -160,7 +164,7 @@ MemoryRegion Endpoint::register_memory(char* addr, std::size_t len) {
   }
   // Cold registration: pin pages, build HCA translation entries.
   sim::advance(fabric_.profile().registration_time(len));
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   MemoryRegion region;
   region.rkey = next_rkey_++;
   region.addr = addr;
@@ -172,7 +176,7 @@ MemoryRegion Endpoint::register_memory(char* addr, std::size_t len) {
 }
 
 void Endpoint::deregister_memory(const MemoryRegion& region) {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   exposed_.erase(region.rkey);
   for (auto it = reg_cache_.begin(); it != reg_cache_.end(); ++it) {
     if (it->second.rkey == region.rkey) {
@@ -193,7 +197,7 @@ StatusCode Endpoint::rdma_write(const RemoteKey& key, std::size_t offset,
   if (target == nullptr) return StatusCode::kNetworkError;
   char* dest = nullptr;
   {
-    const std::scoped_lock lock(target->mu_);
+    const MutexLock lock(target->mu_);
     auto it = target->exposed_.find(key.rkey);
     if (it == target->exposed_.end()) return StatusCode::kInvalidArgument;
     if (offset + data.size() > it->second.length) return StatusCode::kInvalidArgument;
@@ -205,7 +209,7 @@ StatusCode Endpoint::rdma_write(const RemoteKey& key, std::size_t offset,
   std::memcpy(dest, data.data(), data.size());
   // One-sided write completion: payload placed, ack returns (propagation).
   sim::wait_until(deliver_at);
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   ++stats_.one_sided_ops;
   return StatusCode::kOk;
 }
@@ -221,7 +225,7 @@ StatusCode Endpoint::rdma_read(const RemoteKey& key, std::size_t offset,
   if (target == nullptr) return StatusCode::kNetworkError;
   const char* from = nullptr;
   {
-    const std::scoped_lock lock(target->mu_);
+    const MutexLock lock(target->mu_);
     auto it = target->exposed_.find(key.rkey);
     if (it == target->exposed_.end()) return StatusCode::kInvalidArgument;
     if (offset + out.size() > it->second.length) return StatusCode::kInvalidArgument;
@@ -234,7 +238,7 @@ StatusCode Endpoint::rdma_read(const RemoteKey& key, std::size_t offset,
   (void)finish;
   sim::wait_until(deliver_at + sim::scaled(fabric_.profile().base_latency));
   std::memcpy(out.data(), from, out.size());
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   ++stats_.one_sided_ops;
   return StatusCode::kOk;
 }
@@ -243,7 +247,7 @@ StatusCode Endpoint::check_one_sided_fault(EndpointId dst) {
   FaultInjector* faults = fabric_.faults();
   if (faults == nullptr) return StatusCode::kOk;
   if (faults->link_down(id_, dst)) {
-    const std::scoped_lock lock(mu_);
+    const MutexLock lock(mu_);
     ++stats_.faults_link_down;
     return StatusCode::kNetworkError;
   }
@@ -251,7 +255,7 @@ StatusCode Endpoint::check_one_sided_fault(EndpointId dst) {
     // The op posts (doorbell paid) but completes in error -- the verbs
     // "completion with error" path.
     sim::advance(fabric_.profile().doorbell);
-    const std::scoped_lock lock(mu_);
+    const MutexLock lock(mu_);
     ++stats_.faults_one_sided;
     return StatusCode::kNetworkError;
   }
@@ -261,7 +265,7 @@ StatusCode Endpoint::check_one_sided_fault(EndpointId dst) {
 void Endpoint::close() { rx_.close(); }
 
 EndpointStats Endpoint::stats() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return stats_;
 }
 

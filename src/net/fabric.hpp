@@ -20,13 +20,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/profiles.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/queue.hpp"
 #include "common/status.hpp"
 #include "net/fault.hpp"
@@ -120,30 +121,32 @@ class Endpoint {
 
   void close();
   [[nodiscard]] bool closed() const { return rx_.closed(); }
-  [[nodiscard]] EndpointStats stats() const;
+  [[nodiscard]] EndpointStats stats() const EXCLUDES(mu_);
 
  private:
   friend class Fabric;
 
   /// Injected-failure check shared by the one-sided ops: kOk to proceed.
-  StatusCode check_one_sided_fault(EndpointId dst);
+  StatusCode check_one_sided_fault(EndpointId dst) EXCLUDES(mu_);
 
   Fabric& fabric_;
   EndpointId id_;
   std::string name_;
   BlockingQueue<Message> rx_;
 
-  mutable std::mutex mu_;
-  EndpointStats stats_;
+  mutable Mutex mu_;
+  EndpointStats stats_ GUARDED_BY(mu_);
   // Registration cache: (addr, len) -> region. Emulates the lazy
   // deregistration caches RDMA middleware uses to amortise ibv_reg_mr.
-  std::unordered_map<RegCacheKey, MemoryRegion, RegCacheKeyHash> reg_cache_;
-  std::uint64_t next_rkey_ = 1;
+  std::unordered_map<RegCacheKey, MemoryRegion, RegCacheKeyHash> reg_cache_
+      GUARDED_BY(mu_);
+  std::uint64_t next_rkey_ GUARDED_BY(mu_) = 1;
   // Regions visible to one-sided remote access, by rkey.
-  std::unordered_map<std::uint64_t, MemoryRegion> exposed_;
-  // NIC occupancy horizons for the link model.
-  sim::TimePoint tx_free_{};
-  sim::TimePoint rx_free_{};
+  std::unordered_map<std::uint64_t, MemoryRegion> exposed_ GUARDED_BY(mu_);
+  // NIC occupancy horizons for the link model: written only by the owning
+  // fabric's reserve_path under ITS lock, never under this->mu_.
+  sim::TimePoint tx_free_ GUARDED_BY(fabric_.mu_){};
+  sim::TimePoint rx_free_ GUARDED_BY(fabric_.mu_){};
 };
 
 class Fabric {
@@ -174,8 +177,8 @@ class Fabric {
   }
 
   /// Endpoint lookup by id (nullptr when unknown) -- diagnostics/tests.
-  [[nodiscard]] std::shared_ptr<Endpoint> endpoint(EndpointId id) {
-    const std::scoped_lock lock(mu_);
+  [[nodiscard]] std::shared_ptr<Endpoint> endpoint(EndpointId id) EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     auto it = endpoints_.find(id);
     return it == endpoints_.end() ? nullptr : it->second;
   }
@@ -188,16 +191,18 @@ class Fabric {
   /// Returns {injection_finish, deliver_at}.
   std::pair<sim::TimePoint, sim::TimePoint> reserve_path(Endpoint& src,
                                                          Endpoint& dst,
-                                                         std::size_t size);
+                                                         std::size_t size)
+      EXCLUDES(mu_);
 
-  Endpoint* find(EndpointId id);
+  Endpoint* find(EndpointId id) EXCLUDES(mu_);
 
   FabricProfile profile_;
   std::unique_ptr<FaultInjector> faults_;
-  std::mutex mu_;
-  std::unordered_map<EndpointId, std::shared_ptr<Endpoint>> endpoints_;
-  EndpointId next_id_ = 1;
-  std::atomic<std::uint64_t> total_bytes_{0};
+  Mutex mu_;
+  std::unordered_map<EndpointId, std::shared_ptr<Endpoint>> endpoints_
+      GUARDED_BY(mu_);
+  EndpointId next_id_ GUARDED_BY(mu_) = 1;
+  std::atomic<std::uint64_t> total_bytes_ ATOMIC_PUBLISHED(relaxed counter){0};
 };
 
 }  // namespace hykv::net

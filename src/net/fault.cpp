@@ -30,7 +30,7 @@ double FaultInjector::draw(EndpointId src, EndpointId dst,
 }
 
 std::uint64_t FaultInjector::next_ordinal(EndpointId src, EndpointId dst) {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return pair_seq_[pair_key(src, dst)]++;
 }
 
@@ -62,7 +62,7 @@ bool FaultInjector::fail_one_sided(EndpointId src, EndpointId dst) {
 }
 
 void FaultInjector::set_link_down(EndpointId endpoint, bool down) {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   if (down) {
     down_.insert(endpoint);
   } else {
@@ -71,7 +71,7 @@ void FaultInjector::set_link_down(EndpointId endpoint, bool down) {
 }
 
 bool FaultInjector::link_down(EndpointId a, EndpointId b) const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return down_.contains(a) || down_.contains(b);
 }
 

@@ -19,11 +19,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/mutex.hpp"
 #include "common/sim_time.hpp"
+#include "common/thread_annotations.hpp"
 #include "net/message.hpp"
 
 namespace hykv::net {
@@ -73,8 +74,8 @@ class FaultInjector {
 
   /// Marks an endpoint's link down (true) or restores it (false). While
   /// down, all traffic touching the endpoint is dropped.
-  void set_link_down(EndpointId endpoint, bool down);
-  [[nodiscard]] bool link_down(EndpointId a, EndpointId b) const;
+  void set_link_down(EndpointId endpoint, bool down) EXCLUDES(mu_);
+  [[nodiscard]] bool link_down(EndpointId a, EndpointId b) const EXCLUDES(mu_);
 
   [[nodiscard]] const FaultProfile& profile() const noexcept { return profile_; }
 
@@ -82,12 +83,12 @@ class FaultInjector {
   /// Uniform double in [0, 1) for draw `ordinal` of the (src, dst) stream.
   double draw(EndpointId src, EndpointId dst, std::uint64_t ordinal,
               std::uint64_t salt) const noexcept;
-  std::uint64_t next_ordinal(EndpointId src, EndpointId dst);
+  std::uint64_t next_ordinal(EndpointId src, EndpointId dst) EXCLUDES(mu_);
 
-  FaultProfile profile_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, std::uint64_t> pair_seq_;
-  std::unordered_set<EndpointId> down_;
+  FaultProfile profile_;  ///< Immutable after construction.
+  mutable Mutex mu_;
+  std::unordered_map<std::uint64_t, std::uint64_t> pair_seq_ GUARDED_BY(mu_);
+  std::unordered_set<EndpointId> down_ GUARDED_BY(mu_);
 };
 
 }  // namespace hykv::net

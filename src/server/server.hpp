@@ -39,6 +39,7 @@
 #include "common/metrics.hpp"
 #include "common/queue.hpp"
 #include "common/stage.hpp"
+#include "common/thread_annotations.hpp"
 #include "net/fabric.hpp"
 #include "ssd/io_engine.hpp"
 #include "store/sharded_manager.hpp"
@@ -170,17 +171,19 @@ class MemcachedServer {
   /// relaxed atomics (uncontended -- one writer per slot); readers merge all
   /// slots on demand. Cache-line aligned so workers never false-share.
   struct alignas(64) WorkerMetrics {
+    // All counters ATOMIC_PUBLISHED(single-writer relaxed slot): no lock by
+    // design, see the struct comment above.
     std::array<std::atomic<std::uint64_t>, kStageCount> stage_ns{};
-    std::atomic<std::uint64_t> stage_ops{0};
-    std::atomic<std::uint64_t> requests{0};
-    std::atomic<std::uint64_t> sets{0};
-    std::atomic<std::uint64_t> gets{0};
-    std::atomic<std::uint64_t> deletes{0};
-    std::atomic<std::uint64_t> touches{0};
-    std::atomic<std::uint64_t> admin{0};
-    std::atomic<std::uint64_t> malformed{0};
-    std::atomic<std::uint64_t> shed{0};
-    std::atomic<std::uint64_t> expired_on_arrival{0};
+    std::atomic<std::uint64_t> stage_ops ATOMIC_PUBLISHED(){0};
+    std::atomic<std::uint64_t> requests ATOMIC_PUBLISHED(){0};
+    std::atomic<std::uint64_t> sets ATOMIC_PUBLISHED(){0};
+    std::atomic<std::uint64_t> gets ATOMIC_PUBLISHED(){0};
+    std::atomic<std::uint64_t> deletes ATOMIC_PUBLISHED(){0};
+    std::atomic<std::uint64_t> touches ATOMIC_PUBLISHED(){0};
+    std::atomic<std::uint64_t> admin ATOMIC_PUBLISHED(){0};
+    std::atomic<std::uint64_t> malformed ATOMIC_PUBLISHED(){0};
+    std::atomic<std::uint64_t> shed ATOMIC_PUBLISHED(){0};
+    std::atomic<std::uint64_t> expired_on_arrival ATOMIC_PUBLISHED(){0};
   };
 
   /// An async-buffered request plus the instant the network thread received
@@ -217,10 +220,10 @@ class MemcachedServer {
 
   BlockingQueue<BufferedRequest> buffered_;  ///< Async mode slot pool.
   std::vector<std::thread> threads_;
-  std::atomic<bool> running_{false};
+  std::atomic<bool> running_ ATOMIC_PUBLISHED(thread start/stop gate){false};
   /// Admitted-but-unfinished requests; only maintained when admission
   /// control is on, so the default hot path carries zero extra work.
-  std::atomic<std::size_t> inflight_{0};
+  std::atomic<std::size_t> inflight_ ATOMIC_PUBLISHED(admission window){0};
 
   /// Slot 0: network thread (sync mode); slots 1..N: processing workers.
   std::vector<WorkerMetrics> metrics_;

@@ -26,12 +26,12 @@ StatusCode AsyncSsdQueue::submit_write(ExtentId id, std::size_t offset,
   op.data.assign(data.begin(), data.end());
   op.on_done = std::move(on_done);
   {
-    const std::scoped_lock lock(mu_);
+    const MutexLock lock(mu_);
     ++in_flight_;
     ++stats_.submitted;
   }
   if (!queue_.push(std::move(op))) {
-    const std::scoped_lock lock(mu_);
+    const MutexLock lock(mu_);
     --in_flight_;
     --stats_.submitted;
     return StatusCode::kShutdown;
@@ -48,12 +48,12 @@ StatusCode AsyncSsdQueue::submit_read(ExtentId id, std::size_t offset,
   op.out = out;
   op.on_done = std::move(on_done);
   {
-    const std::scoped_lock lock(mu_);
+    const MutexLock lock(mu_);
     ++in_flight_;
     ++stats_.submitted;
   }
   if (!queue_.push(std::move(op))) {
-    const std::scoped_lock lock(mu_);
+    const MutexLock lock(mu_);
     --in_flight_;
     --stats_.submitted;
     return StatusCode::kShutdown;
@@ -75,7 +75,7 @@ void AsyncSsdQueue::worker_main() {
     }
     if (op->on_done) op->on_done(code);
     {
-      const std::scoped_lock lock(mu_);
+      const MutexLock lock(mu_);
       --in_flight_;
       ++stats_.completed;
       if (!ok(code)) ++stats_.errors;
@@ -85,17 +85,17 @@ void AsyncSsdQueue::worker_main() {
 }
 
 void AsyncSsdQueue::drain() {
-  std::unique_lock lock(mu_);
-  drained_cv_.wait(lock, [&] { return in_flight_ == 0; });
+  const MutexLock lock(mu_);
+  drained_cv_.wait(mu_, [&]() REQUIRES(mu_) { return in_flight_ == 0; });
 }
 
 AsyncIoStats AsyncSsdQueue::stats() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return stats_;
 }
 
 std::size_t AsyncSsdQueue::in_flight() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return in_flight_;
 }
 

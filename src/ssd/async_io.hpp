@@ -19,8 +19,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/queue.hpp"
 #include "common/status.hpp"
+#include "common/thread_annotations.hpp"
 #include "ssd/device.hpp"
 
 namespace hykv::ssd {
@@ -56,10 +58,10 @@ class AsyncSsdQueue {
                          Completion on_done = {});
 
   /// Blocks until every submitted operation has completed.
-  void drain();
+  void drain() EXCLUDES(mu_);
 
-  [[nodiscard]] AsyncIoStats stats() const;
-  [[nodiscard]] std::size_t in_flight() const;
+  [[nodiscard]] AsyncIoStats stats() const EXCLUDES(mu_);
+  [[nodiscard]] std::size_t in_flight() const EXCLUDES(mu_);
 
  private:
   struct Op {
@@ -77,10 +79,10 @@ class AsyncSsdQueue {
   BlockingQueue<Op> queue_;
   std::vector<std::thread> workers_;
 
-  mutable std::mutex mu_;
-  std::condition_variable drained_cv_;
-  std::size_t in_flight_ = 0;
-  AsyncIoStats stats_;
+  mutable Mutex mu_;
+  CondVar drained_cv_;
+  std::size_t in_flight_ GUARDED_BY(mu_) = 0;
+  AsyncIoStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace hykv::ssd

@@ -13,12 +13,12 @@ SsdDevice::SsdDevice(SsdProfile profile) : profile_(std::move(profile)) {
   const unsigned channels = profile_.channels == 0 ? 1 : profile_.channels;
   channels_.reserve(channels);
   for (unsigned i = 0; i < channels; ++i) {
-    channels_.push_back(std::make_unique<std::mutex>());
+    channels_.push_back(std::make_unique<Mutex>());
   }
 }
 
 Result<ExtentId> SsdDevice::allocate(std::size_t size) {
-  const std::scoped_lock lock(meta_mu_);
+  const MutexLock lock(meta_mu_);
   if (used_bytes_ + size > profile_.capacity_bytes) {
     return StatusCode::kOutOfMemory;
   }
@@ -29,7 +29,7 @@ Result<ExtentId> SsdDevice::allocate(std::size_t size) {
 }
 
 void SsdDevice::free(ExtentId id) {
-  const std::scoped_lock lock(meta_mu_);
+  const MutexLock lock(meta_mu_);
   auto it = extents_.find(id);
   if (it == extents_.end()) return;
   used_bytes_ -= it->second.size();
@@ -41,29 +41,29 @@ void SsdDevice::occupy(sim::Nanos cost) {
   // saturated device exhibits queueing delay, not magic parallelism.
   const auto idx = channel_cursor_.fetch_add(1, std::memory_order_relaxed) %
                    channels_.size();
-  const std::scoped_lock channel(*channels_[idx]);
+  const MutexLock channel(*channels_[idx]);
   sim::advance(cost);
-  const std::scoped_lock lock(meta_mu_);
+  const MutexLock lock(meta_mu_);
   stats_.busy_ns += static_cast<std::uint64_t>(cost.count());
 }
 
 void SsdDevice::occupy_write(std::size_t bytes) {
   occupy(profile_.write_time(bytes));
-  const std::scoped_lock lock(meta_mu_);
+  const MutexLock lock(meta_mu_);
   ++stats_.writes;
   stats_.written_bytes += bytes;
 }
 
 void SsdDevice::occupy_read(std::size_t bytes) {
   occupy(profile_.read_time(bytes));
-  const std::scoped_lock lock(meta_mu_);
+  const MutexLock lock(meta_mu_);
   ++stats_.reads;
   stats_.read_bytes += bytes;
 }
 
 StatusCode SsdDevice::write_raw(ExtentId id, std::size_t offset,
                                 std::span<const char> data) {
-  const std::scoped_lock lock(meta_mu_);
+  const MutexLock lock(meta_mu_);
   auto it = extents_.find(id);
   if (it == extents_.end()) return StatusCode::kInvalidArgument;
   if (offset + data.size() > it->second.size()) return StatusCode::kInvalidArgument;
@@ -73,7 +73,7 @@ StatusCode SsdDevice::write_raw(ExtentId id, std::size_t offset,
 
 StatusCode SsdDevice::read_raw(ExtentId id, std::size_t offset,
                                std::span<char> out) {
-  const std::scoped_lock lock(meta_mu_);
+  const MutexLock lock(meta_mu_);
   auto it = extents_.find(id);
   if (it == extents_.end()) return StatusCode::kInvalidArgument;
   if (offset + out.size() > it->second.size()) return StatusCode::kInvalidArgument;
@@ -83,7 +83,7 @@ StatusCode SsdDevice::read_raw(ExtentId id, std::size_t offset,
 
 bool SsdDevice::inject_error() {
   if (!fault_armed_.load(std::memory_order_relaxed)) return false;
-  const std::scoped_lock lock(meta_mu_);
+  const MutexLock lock(meta_mu_);
   if (failed_) {
     ++stats_.io_errors;
     return true;
@@ -105,20 +105,20 @@ StatusCode SsdDevice::check_fault() {
 }
 
 void SsdDevice::set_fault_profile(SsdFaultProfile faults) {
-  const std::scoped_lock lock(meta_mu_);
+  const MutexLock lock(meta_mu_);
   faults_ = faults;
   fault_seq_ = 0;
   fault_armed_.store(failed_ || faults_.enabled(), std::memory_order_relaxed);
 }
 
 void SsdDevice::set_failed(bool failed) {
-  const std::scoped_lock lock(meta_mu_);
+  const MutexLock lock(meta_mu_);
   failed_ = failed;
   fault_armed_.store(failed_ || faults_.enabled(), std::memory_order_relaxed);
 }
 
 bool SsdDevice::failed() const {
-  const std::scoped_lock lock(meta_mu_);
+  const MutexLock lock(meta_mu_);
   return failed_;
 }
 
@@ -139,7 +139,7 @@ StatusCode SsdDevice::write(ExtentId id, std::size_t offset,
   // it durable before returning (O_DIRECT|O_SYNC semantics).
   occupy(profile_.write_time(data.size()) + profile_.sync_barrier);
   {
-    const std::scoped_lock lock(meta_mu_);
+    const MutexLock lock(meta_mu_);
     ++stats_.writes;
     stats_.written_bytes += data.size();
   }
@@ -156,23 +156,23 @@ StatusCode SsdDevice::read(ExtentId id, std::size_t offset, std::span<char> out)
 }
 
 std::size_t SsdDevice::used_bytes() const {
-  const std::scoped_lock lock(meta_mu_);
+  const MutexLock lock(meta_mu_);
   return used_bytes_;
 }
 
 std::size_t SsdDevice::extent_size(ExtentId id) const {
-  const std::scoped_lock lock(meta_mu_);
+  const MutexLock lock(meta_mu_);
   auto it = extents_.find(id);
   return it == extents_.end() ? 0 : it->second.size();
 }
 
 DeviceStats SsdDevice::stats() const {
-  const std::scoped_lock lock(meta_mu_);
+  const MutexLock lock(meta_mu_);
   return stats_;
 }
 
 void SsdDevice::reset_stats() {
-  const std::scoped_lock lock(meta_mu_);
+  const MutexLock lock(meta_mu_);
   stats_ = DeviceStats{};
 }
 

@@ -13,13 +13,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/profiles.hpp"
 #include "common/status.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace hykv::ssd {
 
@@ -102,27 +103,29 @@ class SsdDevice {
   void reset_stats();
 
  private:
-  void occupy(sim::Nanos cost);
+  void occupy(sim::Nanos cost) EXCLUDES(meta_mu_);
   /// True when this access should fail; bumps the io_errors counter.
-  [[nodiscard]] bool inject_error();
+  [[nodiscard]] bool inject_error() EXCLUDES(meta_mu_);
 
   SsdProfile profile_;
-  mutable std::mutex meta_mu_;
-  std::unordered_map<ExtentId, std::vector<char>> extents_;
-  ExtentId next_id_ = 1;
-  std::size_t used_bytes_ = 0;
-  DeviceStats stats_;
-  SsdFaultProfile faults_;
-  std::uint64_t fault_seq_ = 0;  ///< Per-access ordinal for the hash chain.
-  bool failed_ = false;
+  mutable Mutex meta_mu_;
+  std::unordered_map<ExtentId, std::vector<char>> extents_ GUARDED_BY(meta_mu_);
+  ExtentId next_id_ GUARDED_BY(meta_mu_) = 1;
+  std::size_t used_bytes_ GUARDED_BY(meta_mu_) = 0;
+  DeviceStats stats_ GUARDED_BY(meta_mu_);
+  SsdFaultProfile faults_ GUARDED_BY(meta_mu_);
+  std::uint64_t fault_seq_ GUARDED_BY(meta_mu_) = 0;  ///< Per-access ordinal.
+  bool failed_ GUARDED_BY(meta_mu_) = false;
   /// Lock-free gate: true iff failed_ or faults_ is enabled. Lets the
   /// fault-free data path skip meta_mu_ entirely (zero happy-path overhead).
-  std::atomic<bool> fault_armed_{false};
+  std::atomic<bool> fault_armed_ ATOMIC_PUBLISHED(relaxed gate){false};
 
   // Channel serialisation: ops round-robin over channels; each channel admits
-  // one modelled access at a time.
-  std::vector<std::unique_ptr<std::mutex>> channels_;
-  std::atomic<std::uint64_t> channel_cursor_{0};
+  // one modelled access at a time. The channel mutexes guard no data -- they
+  // model occupancy -- so nothing is GUARDED_BY them.
+  std::vector<std::unique_ptr<Mutex>> channels_;
+  std::atomic<std::uint64_t> channel_cursor_
+      ATOMIC_PUBLISHED(relaxed round-robin cursor){0};
 };
 
 }  // namespace hykv::ssd

@@ -14,16 +14,16 @@
 // the full extent.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <unordered_map>
 
+#include "common/mutex.hpp"
 #include "common/profiles.hpp"
 #include "common/status.hpp"
+#include "common/thread_annotations.hpp"
 #include "ssd/device.hpp"
 
 namespace hykv::ssd {
@@ -53,30 +53,34 @@ class PageCache {
 
   /// write(2)-style cached write: syscall overhead + copy cost, dirty bytes
   /// queued for write-back, throttles above the high watermark.
-  StatusCode write(ExtentId id, std::size_t offset, std::span<const char> data);
+  StatusCode write(ExtentId id, std::size_t offset, std::span<const char> data)
+      EXCLUDES(mu_);
 
   /// Cached read: residency hit costs host copy; miss pays a device read and
   /// populates the cache.
-  StatusCode read(ExtentId id, std::size_t offset, std::span<char> out);
+  StatusCode read(ExtentId id, std::size_t offset, std::span<char> out)
+      EXCLUDES(mu_);
 
   /// mmap-style store: no syscall, per-page touch cost + copy; dirty pages
   /// enter the same write-back pipeline.
-  StatusCode mmap_write(ExtentId id, std::size_t offset, std::span<const char> data);
+  StatusCode mmap_write(ExtentId id, std::size_t offset,
+                        std::span<const char> data) EXCLUDES(mu_);
 
   /// mmap-style load: resident -> copy cost; non-resident -> major fault
   /// (device read) + populate.
-  StatusCode mmap_read(ExtentId id, std::size_t offset, std::span<char> out);
+  StatusCode mmap_read(ExtentId id, std::size_t offset, std::span<char> out)
+      EXCLUDES(mu_);
 
   /// Drops cache state for a freed extent (dirty data is discarded -- caller
   /// owns the decision, mirroring unlink() of a dirty file).
-  void invalidate(ExtentId id);
+  void invalidate(ExtentId id) EXCLUDES(mu_);
 
   /// fsync equivalent: blocks until no dirty bytes remain.
-  void sync();
+  void sync() EXCLUDES(mu_);
 
-  [[nodiscard]] bool resident(ExtentId id) const;
-  [[nodiscard]] std::size_t dirty_bytes() const;
-  [[nodiscard]] PageCacheStats stats() const;
+  [[nodiscard]] bool resident(ExtentId id) const EXCLUDES(mu_);
+  [[nodiscard]] std::size_t dirty_bytes() const EXCLUDES(mu_);
+  [[nodiscard]] PageCacheStats stats() const EXCLUDES(mu_);
   [[nodiscard]] const PageCacheConfig& config() const noexcept { return config_; }
 
  private:
@@ -89,25 +93,25 @@ class PageCache {
     bool in_lru = false;
   };
 
-  void flusher_main();
+  void flusher_main() EXCLUDES(mu_);
   void charge_write_path(std::size_t offset, std::span<const char> data,
-                         ExtentId id, bool via_mmap);
-  void make_room_locked(std::unique_lock<std::mutex>& lock, std::size_t need);
-  void touch_lru_locked(ExtentId id, Entry& entry);
+                         ExtentId id, bool via_mmap) EXCLUDES(mu_);
+  void make_room_locked(std::size_t need) REQUIRES(mu_);
+  void touch_lru_locked(ExtentId id, Entry& entry) REQUIRES(mu_);
 
   SsdDevice& device_;
   PageCacheConfig config_;
 
-  mutable std::mutex mu_;
-  std::condition_variable dirty_cv_;    ///< Signals the flusher.
-  std::condition_variable clean_cv_;    ///< Signals throttled writers / sync.
-  std::unordered_map<ExtentId, Entry> entries_;
-  std::list<ExtentId> dirty_fifo_;      ///< Write-back order.
-  std::list<ExtentId> lru_;             ///< Clean-entry eviction order (front = MRU).
-  std::size_t dirty_bytes_ = 0;
-  std::size_t resident_bytes_ = 0;
-  PageCacheStats stats_;
-  bool stop_ = false;
+  mutable Mutex mu_;
+  CondVar dirty_cv_;    ///< Signals the flusher.
+  CondVar clean_cv_;    ///< Signals throttled writers / sync.
+  std::unordered_map<ExtentId, Entry> entries_ GUARDED_BY(mu_);
+  std::list<ExtentId> dirty_fifo_ GUARDED_BY(mu_);  ///< Write-back order.
+  std::list<ExtentId> lru_ GUARDED_BY(mu_);  ///< Clean eviction order (front = MRU).
+  std::size_t dirty_bytes_ GUARDED_BY(mu_) = 0;
+  std::size_t resident_bytes_ GUARDED_BY(mu_) = 0;
+  PageCacheStats stats_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
 
   std::thread flusher_;
 };

@@ -27,6 +27,8 @@
 #pragma once
 
 #include <atomic>
+
+#include "common/thread_annotations.hpp"
 #include <cassert>
 #include <cstddef>
 #include <optional>
@@ -179,6 +181,8 @@ class HashMap {
 
   struct Table {
     explicit Table(std::size_t n) : buckets(n) {}
+    /// Bucket heads: release-published by the single writer, acquire-walked
+    /// by epoch-guarded readers -- never lock-guarded.
     std::vector<std::atomic<Node*>> buckets;
   };
 
@@ -187,7 +191,7 @@ class HashMap {
     std::uint32_t hash = 0;     ///< Immutable after publication.
     V value{};                  ///< Writer-mutable; readers interpret via V's
                                 ///< own protocol (seqlock'd item pointers).
-    std::atomic<Node*> next{nullptr};
+    std::atomic<Node*> next ATOMIC_PUBLISHED(release chain link){nullptr};
   };
 
   static std::size_t round_up_pow2(std::size_t v) {
@@ -263,8 +267,9 @@ class HashMap {
     return true;
   }
 
-  std::atomic<Table*> table_;
-  std::size_t size_ = 0;
+  std::atomic<Table*> table_ ATOMIC_PUBLISHED(acquire-loaded by readers,
+                                             swapped whole on grow);
+  std::size_t size_ = 0;  ///< Writer-only (under the owner's shard mutex).
   epoch::Limbo* limbo_ = nullptr;
 };
 

@@ -30,7 +30,7 @@ std::int64_t steady_seconds() noexcept {
 
 void HybridSlabManager::ExtentHandle::mark_ready() {
   {
-    const std::scoped_lock lock(mu);
+    const MutexLock lock(mu);
     ready = true;
   }
   cv.notify_all();
@@ -38,16 +38,17 @@ void HybridSlabManager::ExtentHandle::mark_ready() {
 
 void HybridSlabManager::ExtentHandle::mark_failed() {
   {
-    const std::scoped_lock lock(mu);
+    const MutexLock lock(mu);
     failed = true;
     ready = true;  // wake waiters; they must check `failed`
   }
   cv.notify_all();
 }
 
-void HybridSlabManager::ExtentHandle::wait_ready() {
-  std::unique_lock lock(mu);
-  cv.wait(lock, [&] { return ready; });
+bool HybridSlabManager::ExtentHandle::wait_ready() {
+  const MutexLock lock(mu);
+  cv.wait(mu, [&]() REQUIRES(mu) { return ready; });
+  return failed;
 }
 
 HybridSlabManager::ExtentHandle::~ExtentHandle() {
@@ -96,9 +97,12 @@ void HybridSlabManager::retire_ram_item(ItemHeader* item) {
   }
   lru_[cls].remove(item);
   ++limbo_chunks_[cls];
+  // NO_THREAD_SAFETY_ANALYSIS: the deleter runs from limbo_.flush(), which is
+  // only ever called under mu_, but the void* ctx round-trip erases the
+  // capability so the analysis cannot see it.
   limbo_.retire(
       item, cls,
-      [](void* ctx, void* obj, std::uint64_t aux) {
+      [](void* ctx, void* obj, std::uint64_t aux) NO_THREAD_SAFETY_ANALYSIS {
         auto* self = static_cast<HybridSlabManager*>(ctx);
         const auto klass = static_cast<unsigned>(aux);
         self->slabs_.deallocate(static_cast<char*>(obj), klass);
@@ -162,20 +166,17 @@ bool HybridSlabManager::drop_one(unsigned cls) {
   return true;
 }
 
-bool HybridSlabManager::flush_batch(unsigned cls,
-                                    std::unique_lock<std::mutex>& lock) {
+bool HybridSlabManager::flush_batch(unsigned cls) {
   metrics::LatencyRecorder* const rec = config_.latency;
-  if (rec == nullptr) return do_flush_batch(cls, lock);
+  if (rec == nullptr) return do_flush_batch(cls);
   const SteadyClock::time_point start = SteadyClock::now();
-  const bool flushed = do_flush_batch(cls, lock);
+  const bool flushed = do_flush_batch(cls);
   rec->record_span(metrics::Span::kSsdFlush,
                    metrics::delta_ns(start, SteadyClock::now()));
   return flushed;
 }
 
-bool HybridSlabManager::do_flush_batch(unsigned cls,
-                                       std::unique_lock<std::mutex>& lock) {
-  assert(lock.owns_lock());
+bool HybridSlabManager::do_flush_batch(unsigned cls) {
   if (lru_[cls].empty()) return false;
 
   // 1. Collect LRU-tail victims until the batch is full (<= one slab page).
@@ -265,7 +266,7 @@ bool HybridSlabManager::do_flush_batch(unsigned cls,
   stats_.ssd_live_bytes += staging.size();
 
   // 4. Write outside the lock; readers of these records wait on ready.
-  lock.unlock();
+  mu_.unlock();
   const StatusCode code =
       storage_->engine(scheme).write(handle->id, 0, staging);
   if (!ok(code)) {
@@ -275,7 +276,7 @@ bool HybridSlabManager::do_flush_batch(unsigned cls,
   } else {
     handle->mark_ready();
   }
-  lock.lock();
+  mu_.lock();
   if (!ok(code)) {
     // The extent never became durable: these victims are lost. Erase every
     // entry still pointing at the failed batch (a concurrent set may have
@@ -315,8 +316,7 @@ bool HybridSlabManager::do_flush_batch(unsigned cls,
   return true;
 }
 
-char* HybridSlabManager::allocate_with_reclaim(
-    unsigned cls, std::unique_lock<std::mutex>& lock) {
+char* HybridSlabManager::allocate_with_reclaim(unsigned cls) {
   for (int attempt = 0; attempt < 4096; ++attempt) {
     // Retired chunks whose epoch has passed are the cheapest source of
     // memory: drain them before evicting or flushing anything live.
@@ -327,9 +327,9 @@ char* HybridSlabManager::allocate_with_reclaim(
       // Chunks of this class are already unlinked, just waiting for readers
       // to leave the epoch. Yield for them instead of evicting more data --
       // read critical sections are short by contract.
-      lock.unlock();
+      mu_.unlock();
       std::this_thread::yield();
-      lock.lock();
+      mu_.lock();
       continue;
     }
     if (config_.mode == StorageMode::kInMemory) {
@@ -341,7 +341,7 @@ char* HybridSlabManager::allocate_with_reclaim(
       // flush_batch, which is the half-open heal attempt.
       if (!drop_one(cls)) return nullptr;
     } else {
-      if (!flush_batch(cls, lock)) {
+      if (!flush_batch(cls)) {
         // Nothing left to flush in this class (slab calcification): fail the
         // store rather than stealing carved pages from other classes.
         return nullptr;
@@ -362,7 +362,7 @@ StatusCode HybridSlabManager::set(std::string_view key,
   const std::int64_t expiry =
       expiration == 0 ? 0 : steady_seconds() + expiration;
 
-  std::unique_lock lock(mu_);
+  const MutexLock lock(mu_);
   if (config_.modelled_op_cost.count() > 0) {
     sim::advance_coarse(config_.modelled_op_cost);  // modelled under-lock CPU work
   }
@@ -405,7 +405,7 @@ StatusCode HybridSlabManager::set(std::string_view key,
 
   // Slab allocation (including any flush/eviction it triggers).
   const auto alloc_start = SteadyClock::now();
-  char* chunk = allocate_with_reclaim(cls, lock);
+  char* chunk = allocate_with_reclaim(cls);
   if (stages != nullptr) {
     stages->add(Stage::kSlabAllocation, SteadyClock::now() - alloc_start);
   }
@@ -537,7 +537,7 @@ StatusCode HybridSlabManager::get_locked(std::string_view key,
                                          std::uint32_t& flags,
                                          StageBreakdown* stages,
                                          bool pay_modelled_cost) {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   if (pay_modelled_cost && config_.modelled_op_cost.count() > 0) {
     sim::advance_coarse(config_.modelled_op_cost);  // modelled under-lock CPU work
   }
@@ -591,8 +591,8 @@ StatusCode HybridSlabManager::get_locked(std::string_view key,
   }
   lock.unlock();
 
-  record->extent->wait_ready();
-  if (record->extent->failed) {
+  const bool extent_failed = record->extent->wait_ready();
+  if (extent_failed) {
     // The flush backing this record never reached the device: the data is
     // gone. flush_batch already erased the index entries; this reader just
     // pinned the record before that happened.
@@ -664,7 +664,7 @@ StatusCode HybridSlabManager::get_locked(std::string_view key,
         // May drop and re-acquire the lock around a flush; the allocation
         // cost (incl. flush) is slab-management work on the Get path.
         const auto alloc_start = SteadyClock::now();
-        chunk = allocate_with_reclaim(cls, lock);
+        chunk = allocate_with_reclaim(cls);
         if (stages != nullptr) {
           stages->add(Stage::kSlabAllocation, SteadyClock::now() - alloc_start);
         }
@@ -797,7 +797,7 @@ Result<std::uint64_t> HybridSlabManager::decr(std::string_view key,
 
 StatusCode HybridSlabManager::touch(std::string_view key,
                                     std::int64_t expiration) {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   Entry* entry = index_.find(key);
   if (entry == nullptr) return StatusCode::kNotFound;
   const std::int64_t expiry =
@@ -873,7 +873,7 @@ StatusCode HybridSlabManager::gets_locked(std::string_view key,
                                           StageBreakdown* stages,
                                           bool pay_modelled_cost) {
   {
-    const std::scoped_lock lock(mu_);
+    const MutexLock lock(mu_);
     cas = current_cas_locked(index_.find(key));
   }
   if (cas == 0) {
@@ -900,7 +900,7 @@ StatusCode HybridSlabManager::cas(std::string_view key,
   const std::int64_t expiry =
       expiration == 0 ? 0 : steady_seconds() + expiration;
 
-  std::unique_lock lock(mu_);
+  const MutexLock lock(mu_);
   Entry* entry = index_.find(key);
   std::uint64_t current = current_cas_locked(entry);
   if (current == 0) return StatusCode::kNotFound;
@@ -927,7 +927,7 @@ StatusCode HybridSlabManager::cas(std::string_view key,
 
   // Relocating path: the allocation may drop the lock (flush), so the
   // version must be re-validated before committing.
-  char* chunk = allocate_with_reclaim(cls, lock);
+  char* chunk = allocate_with_reclaim(cls);
   if (chunk == nullptr) return StatusCode::kOutOfMemory;
   entry = index_.find(key);
   current = current_cas_locked(entry);
@@ -951,7 +951,7 @@ StatusCode HybridSlabManager::cas(std::string_view key,
 }
 
 StatusCode HybridSlabManager::del(std::string_view key) {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   Entry* entry = index_.find(key);
   if (entry == nullptr) return StatusCode::kNotFound;
   if (ItemHeader* item = entry->ram.load(std::memory_order_relaxed)) {
@@ -965,7 +965,7 @@ StatusCode HybridSlabManager::del(std::string_view key) {
 }
 
 bool HybridSlabManager::exists(std::string_view key) const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   const Entry* entry = index_.find(key);
   if (entry == nullptr) return false;
   if (const ItemHeader* item = entry->ram.load(std::memory_order_relaxed)) {
@@ -975,7 +975,7 @@ bool HybridSlabManager::exists(std::string_view key) const {
 }
 
 void HybridSlabManager::clear() {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   index_.for_each([&](std::string_view, Entry& entry) {
     if (ItemHeader* item = entry.ram.load(std::memory_order_relaxed)) {
       entry.ram.store(nullptr, std::memory_order_release);
@@ -990,12 +990,12 @@ void HybridSlabManager::clear() {
 }
 
 std::size_t HybridSlabManager::item_count() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return index_.size();
 }
 
 ManagerStats HybridSlabManager::stats() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   ManagerStats out = stats_;
   out.degraded_shards = stats_.degraded ? 1 : 0;
   // Optimistic GETs never touch mu_ or stats_; fold their counters in here.
@@ -1009,7 +1009,7 @@ ManagerStats HybridSlabManager::stats() const {
 }
 
 SlabStats HybridSlabManager::slab_stats() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return slabs_.stats();
 }
 

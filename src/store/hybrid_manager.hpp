@@ -25,15 +25,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string_view>
 #include <vector>
 
 #include "common/epoch.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/metrics.hpp"
 #include "common/sim_time.hpp"
 #include "common/stage.hpp"
@@ -164,15 +164,16 @@ class HybridSlabManager {
   /// a previous version lands in kCacheCheckLoad.
   StatusCode set(std::string_view key, std::span<const char> value,
                  std::uint32_t flags, std::int64_t expiration,
-                 StageBreakdown* stages = nullptr);
+                 StageBreakdown* stages = nullptr) EXCLUDES(mu_);
 
   /// Fetches key into `out` (resized to the value length). SSD loads are
   /// attributed to kCacheCheckLoad, LRU promotion to kCacheUpdate.
   StatusCode get(std::string_view key, std::vector<char>& out,
-                 std::uint32_t& flags, StageBreakdown* stages = nullptr);
+                 std::uint32_t& flags, StageBreakdown* stages = nullptr)
+      EXCLUDES(mu_);
 
-  StatusCode del(std::string_view key);
-  [[nodiscard]] bool exists(std::string_view key) const;
+  StatusCode del(std::string_view key) EXCLUDES(mu_);
+  [[nodiscard]] bool exists(std::string_view key) const EXCLUDES(mu_);
 
   /// memcached "add": stores only if the key does not exist (kNotStored
   /// otherwise).
@@ -203,26 +204,27 @@ class HybridSlabManager {
                              StageBreakdown* stages = nullptr);
 
   /// memcached "touch": updates the expiration without moving data.
-  StatusCode touch(std::string_view key, std::int64_t expiration);
+  StatusCode touch(std::string_view key, std::int64_t expiration) EXCLUDES(mu_);
 
   /// memcached "gets": like get() but also returns the item's CAS version.
   StatusCode gets(std::string_view key, std::vector<char>& out,
                   std::uint32_t& flags, std::uint64_t& cas,
-                  StageBreakdown* stages = nullptr);
+                  StageBreakdown* stages = nullptr) EXCLUDES(mu_);
 
   /// memcached "cas": stores only if the item's current version equals
   /// `expected_cas`. kNotFound if absent; kNotStored on version mismatch
   /// (memcached's EXISTS).
   StatusCode cas(std::string_view key, std::span<const char> value,
                  std::uint32_t flags, std::int64_t expiration,
-                 std::uint64_t expected_cas, StageBreakdown* stages = nullptr);
+                 std::uint64_t expected_cas, StageBreakdown* stages = nullptr)
+      EXCLUDES(mu_);
 
   /// Drops every item (memcached flush_all).
-  void clear();
+  void clear() EXCLUDES(mu_);
 
-  [[nodiscard]] std::size_t item_count() const;
-  [[nodiscard]] ManagerStats stats() const;
-  [[nodiscard]] SlabStats slab_stats() const;
+  [[nodiscard]] std::size_t item_count() const EXCLUDES(mu_);
+  [[nodiscard]] ManagerStats stats() const EXCLUDES(mu_);
+  [[nodiscard]] SlabStats slab_stats() const EXCLUDES(mu_);
   [[nodiscard]] const ManagerConfig& config() const noexcept { return config_; }
 
   /// Blocks until all flushed data is durable (test/shutdown hook).
@@ -235,16 +237,18 @@ class HybridSlabManager {
     ssd::StorageStack* storage = nullptr;
     ssd::ExtentId id = ssd::kInvalidExtent;
     std::size_t bytes = 0;
-    std::mutex mu;
-    std::condition_variable cv;
-    bool ready = false;
-    bool failed = false;  ///< Write-back never became durable (I/O error).
+    Mutex mu;
+    CondVar cv;
+    bool ready GUARDED_BY(mu) = false;
+    /// Write-back never became durable (I/O error).
+    bool failed GUARDED_BY(mu) = false;
 
-    void mark_ready();
+    void mark_ready() EXCLUDES(mu);
     /// Wakes waiters with failed set: readers pinned to this extent must
     /// report the loss (kIoError) instead of returning garbage.
-    void mark_failed();
-    void wait_ready();
+    void mark_failed() EXCLUDES(mu);
+    /// Blocks until the write-back completes; returns true iff it failed.
+    [[nodiscard]] bool wait_ready() EXCLUDES(mu);
     ~ExtentHandle();
   };
 
@@ -268,7 +272,10 @@ class HybridSlabManager {
   /// Copyable because HashMap clones entries on growth; copies snapshot the
   /// ram pointer (relaxed is enough: the publishing table store orders it).
   struct Entry {
-    std::atomic<ItemHeader*> ram{nullptr};
+    /// Release-published / acquire-read RAM pointer: the one Entry field the
+    /// optimistic (lock-free) read path dereferences.
+    std::atomic<ItemHeader*> ram ATOMIC_PUBLISHED(release-published
+                                                  item pointer){nullptr};
     std::shared_ptr<SsdRecord> ssd;
 
     Entry() = default;
@@ -294,32 +301,33 @@ class HybridSlabManager {
   };
 
   /// Allocates a chunk, evicting (in-memory) or flushing (hybrid) as needed.
-  /// May release and reacquire `lock` around SSD writes.
-  char* allocate_with_reclaim(unsigned cls, std::unique_lock<std::mutex>& lock);
+  /// May release and reacquire mu_ around SSD writes (always re-held on
+  /// return -- the analysis checks this through the direct unlock/lock).
+  char* allocate_with_reclaim(unsigned cls) REQUIRES(mu_);
 
   /// Flushes up to flush_batch_bytes of LRU-tail items of `cls` to the SSD.
   /// Returns false if the class had nothing to flush. Lock juggling as above.
   /// flush_batch is the recording wrapper (Span::kSsdFlush); do_flush_batch
   /// does the work.
-  bool flush_batch(unsigned cls, std::unique_lock<std::mutex>& lock);
-  bool do_flush_batch(unsigned cls, std::unique_lock<std::mutex>& lock);
+  bool flush_batch(unsigned cls) REQUIRES(mu_);
+  bool do_flush_batch(unsigned cls) REQUIRES(mu_);
 
   /// Drops the LRU-tail item of `cls` (or of the fullest other class when
   /// empty). Returns false when nothing anywhere is evictable.
-  bool drop_one(unsigned cls);
+  bool drop_one(unsigned cls) REQUIRES(mu_);
 
-  void unlink_ram_item(ItemHeader* item);
+  void unlink_ram_item(ItemHeader* item) REQUIRES(mu_);
 
   /// Unlinks a *published* RAM item and defers its chunk to the epoch limbo
   /// (a lock-free reader may still be copying it); with optimistic reads off
-  /// this is plain unlink_ram_item. Caller must hold mu_ and must already
-  /// have unpublished the entry's ram pointer.
-  void retire_ram_item(ItemHeader* item);
+  /// this is plain unlink_ram_item. The caller must already have unpublished
+  /// the entry's ram pointer.
+  void retire_ram_item(ItemHeader* item) REQUIRES(mu_);
 
   /// LRU-tail victim of `cls` with CLOCK-style second chances: tails whose
   /// `touched` flag is set (an optimistic GET read them recently) are rescued
   /// to the front (bounded per call) instead of returned. nullptr when empty.
-  ItemHeader* lru_tail_victim(unsigned cls);
+  ItemHeader* lru_tail_victim(unsigned cls) REQUIRES(mu_);
 
   /// Lock-free GET attempt: epoch-guarded bucket walk + seqlock-validated
   /// copy. True only on a RAM hit whose bytes validated; every other outcome
@@ -327,54 +335,62 @@ class HybridSlabManager {
   /// false and the caller takes the locked path for the authoritative
   /// answer. `cas_out` may be nullptr (plain get).
   bool try_optimistic_get(std::string_view key, std::vector<char>& out,
-                          std::uint32_t& flags, std::uint64_t* cas_out);
+                          std::uint32_t& flags, std::uint64_t* cas_out)
+      EXCLUDES(mu_);
 
   /// The pre-optimistic locked paths; `pay_modelled_cost` is false when the
   /// caller already realised modelled_op_cost before falling back.
   StatusCode get_locked(std::string_view key, std::vector<char>& out,
                         std::uint32_t& flags, StageBreakdown* stages,
-                        bool pay_modelled_cost);
+                        bool pay_modelled_cost) EXCLUDES(mu_);
   StatusCode gets_locked(std::string_view key, std::vector<char>& out,
                          std::uint32_t& flags, std::uint64_t& cas,
-                         StageBreakdown* stages, bool pay_modelled_cost);
+                         StageBreakdown* stages, bool pay_modelled_cost)
+      EXCLUDES(mu_);
 
   [[nodiscard]] ssd::IoScheme scheme_for_class(unsigned cls) const noexcept;
   [[nodiscard]] bool expired(std::int64_t expiry) const noexcept;
-  void release_record_locked(const std::shared_ptr<SsdRecord>& record);
+  void release_record_locked(const std::shared_ptr<SsdRecord>& record)
+      REQUIRES(mu_);
 
   /// Accounts one failed SSD access; enters degraded mode at the configured
-  /// streak and (re)arms the heal-probe timer. Caller must hold mu_.
-  void note_io_failure_locked();
+  /// streak and (re)arms the heal-probe timer.
+  void note_io_failure_locked() REQUIRES(mu_);
 
   /// Current CAS version of the entry, whichever tier it lives in
-  /// (0 = entry absent/expired). Caller must hold mu_.
-  std::uint64_t current_cas_locked(const Entry* entry) const;
+  /// (0 = entry absent/expired).
+  std::uint64_t current_cas_locked(const Entry* entry) const REQUIRES(mu_);
 
   ManagerConfig config_;
   ssd::StorageStack* storage_;
-  std::uint64_t cas_seq_ = 1;  ///< Monotonic CAS stamp source (under mu_).
+  std::uint64_t cas_seq_ GUARDED_BY(mu_) = 1;  ///< Monotonic CAS stamp source.
 
-  mutable std::mutex mu_;
-  SlabAllocator slabs_;
-  HashMap<Entry> index_;
-  std::vector<LruList> lru_;  ///< One per slab class.
-  ManagerStats stats_;
-  unsigned consecutive_io_errors_ = 0;  ///< Streak driving degradation.
-  sim::TimePoint heal_probe_at_{};      ///< Next half-open flush attempt.
+  mutable Mutex mu_;
+  SlabAllocator slabs_ GUARDED_BY(mu_);
+  /// Single-writer / lock-free-reader: every mutation happens under mu_, but
+  /// find_optimistic runs epoch-guarded with no lock at all, so the map
+  /// cannot be GUARDED_BY(mu_) -- its internal atomics carry the publication
+  /// contract (release bucket stores, clone-on-grow retirement).
+  HashMap<Entry> index_ ATOMIC_PUBLISHED(single-writer under mu_,
+                                         lock-free epoch-guarded readers);
+  std::vector<LruList> lru_ GUARDED_BY(mu_);  ///< One per slab class.
+  ManagerStats stats_ GUARDED_BY(mu_);
+  unsigned consecutive_io_errors_ GUARDED_BY(mu_) = 0;  ///< Degradation streak.
+  sim::TimePoint heal_probe_at_ GUARDED_BY(mu_){};  ///< Next half-open probe.
 
   /// Chunks of each slab class sitting in limbo_: reclaim prefers waiting
   /// for these over evicting more items when allocation stalls. Declared
   /// before limbo_ so it outlives limbo_'s destructor-time callbacks.
-  std::vector<std::uint32_t> limbo_chunks_;
+  std::vector<std::uint32_t> limbo_chunks_ GUARDED_BY(mu_);
   /// Deferred-free list for chunks/nodes still visible to lock-free readers.
   /// Accessed only under mu_ (Limbo is not thread-safe).
-  epoch::Limbo limbo_{epoch::global()};
+  epoch::Limbo limbo_ GUARDED_BY(mu_){epoch::global()};
 
   // Read-path counters: relaxed atomics because the optimistic path must not
   // touch mu_; folded into stats() output.
-  std::atomic<std::uint64_t> opt_hits_{0};
-  std::atomic<std::uint64_t> opt_retries_{0};
-  std::atomic<std::uint64_t> opt_fallbacks_{0};
+  std::atomic<std::uint64_t> opt_hits_ ATOMIC_PUBLISHED(relaxed counter){0};
+  std::atomic<std::uint64_t> opt_retries_ ATOMIC_PUBLISHED(relaxed counter){0};
+  std::atomic<std::uint64_t> opt_fallbacks_ ATOMIC_PUBLISHED(relaxed counter){0};
 };
 
 /// Seconds on the steady clock -- the manager's expiry time base.

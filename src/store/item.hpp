@@ -23,6 +23,7 @@
 #include <string_view>
 
 #include "common/atomic_bytes.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace hykv::store {
 
@@ -37,10 +38,10 @@ struct ItemHeader {
   std::uint64_t cas = 0;     ///< Version stamp for check-and-set.
   /// Seqlock word: odd while the lock holder mutates the item in place;
   /// optimistic readers retry/fall back on odd or changed versions.
-  std::atomic<std::uint64_t> version{0};
+  std::atomic<std::uint64_t> version ATOMIC_PUBLISHED(seqlock word){0};
   /// Set (relaxed) by optimistic GETs instead of an LRU move; consumed by
   /// eviction as a CLOCK-style second chance.
-  std::atomic<std::uint8_t> touched{0};
+  std::atomic<std::uint8_t> touched ATOMIC_PUBLISHED(relaxed CLOCK bit){0};
 
   [[nodiscard]] char* key_data() noexcept {
     return reinterpret_cast<char*>(this) + sizeof(ItemHeader);

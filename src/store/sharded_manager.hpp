@@ -163,6 +163,9 @@ class ShardedManager {
     return *shards_[shard_index(key)];
   }
 
+  // All facade state is immutable after construction -- no capability needed.
+  // Mutable per-shard state (index, slabs, LRU, degraded/heal) lives behind
+  // each HybridSlabManager's own mu_; the facade never adds a second lock.
   ManagerConfig config_;   ///< As given (un-split limits).
   unsigned shard_bits_ = 0;
   std::vector<std::unique_ptr<HybridSlabManager>> shards_;

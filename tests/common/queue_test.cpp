@@ -102,14 +102,14 @@ TEST(BlockingQueueTest, MpmcIntegrity) {
       for (int i = 0; i < kPerProducer; ++i) q.push(p * kPerProducer + i);
     });
   }
-  std::mutex mu;
+  hykv::Mutex mu;
   std::set<int> seen;
   std::vector<std::thread> consumers;
   consumers.reserve(2);
   for (int c = 0; c < 2; ++c) {
     consumers.emplace_back([&] {
       while (auto v = q.pop()) {
-        const std::scoped_lock lock(mu);
+        const hykv::MutexLock lock(mu);
         EXPECT_TRUE(seen.insert(*v).second) << "duplicate " << *v;
       }
     });

@@ -113,6 +113,12 @@ TEST(TestBedTest, ResetMetricsClearsServerSide) {
   TestBed bed(cfg);
   auto client = bed.make_client("c");
   ASSERT_EQ(client->set("k", make_value(1, 128)), StatusCode::kOk);
+  // The worker records its stage counters *after* sending the response (the
+  // kServerResponse stage must cover the send), so the client can observe
+  // completion a beat before the counters land -- poll briefly.
+  for (int i = 0; i < 1000 && bed.server_breakdown().ops() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
   EXPECT_GT(bed.server_breakdown().ops(), 0u);
   bed.reset_metrics();
   EXPECT_EQ(bed.server_breakdown().ops(), 0u);
