@@ -50,7 +50,7 @@ int main() {
     const auto code = client->iset(make_key(static_cast<std::uint64_t>(i)),
                                    values.back(), 0, 0, requests[static_cast<std::size_t>(i)]);
     if (!ok(code)) {
-      std::fprintf(stderr, "iset failed: %s\n", std::string(to_string(code)).c_str());
+      std::fprintf(stderr, "iset failed: %s\n", std::string(status_name(code)).c_str());
       return 1;
     }
   }

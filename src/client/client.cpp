@@ -1,8 +1,10 @@
 #include "client/client.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <cstring>
+#include <utility>
 
 #include "common/logging.hpp"
 #include "common/sim_time.hpp"
@@ -64,145 +66,275 @@ void Client::complete_all_pending(StatusCode status) {
 }
 
 void Client::tx_main() {
-  while (auto job = tx_queue_.pop()) {
-    // Model the engine-side registration of the source/destination buffer
-    // (registration cache makes repeats nearly free).
-    if (!job->value.empty()) {
-      endpoint_->register_memory(const_cast<char*>(job->value.data()),
-                                 job->value.size());
+  // Request-frame bytes a job contributes to a coalesced run. A Get's value
+  // span is the caller's *destination* buffer (kept for engine-side
+  // registration modelling), not request payload -- only the key travels in
+  // the frame, so counting the dest would veto coalescing for any Get whose
+  // buffer exceeds batch_max_bytes.
+  const auto wire_payload_bytes = [](const TxJob& job) {
+    if (job.opcode == Opcode::kOpGet || job.opcode == Opcode::kOpGets) {
+      return job.key.size();
     }
-    std::vector<char> payload;
-    switch (job->opcode) {
-      case Opcode::kOpSet: {
-        // The value span is read *here*, on the engine thread -- this is the
-        // zero-copy hazard window the iset documentation warns about.
-        payload = server::encode_set(server::SetRequest{
-            .key = job->key,
-            .value = job->value,
-            .flags = job->flags,
-            .expiration = job->expiration,
-        });
+    return job.key.size() + job.value.size();
+  };
+  // Doorbell batching (DESIGN.md §12): after the blocking pop, the engine
+  // opportunistically drains whatever else is already queued and coalesces
+  // consecutive same-server jobs -- up to batch_max_ops / batch_max_bytes --
+  // into one kOpBatch frame. A job bound for a *different* server closes the
+  // current run and carries over as the seed of the next one, preserving
+  // per-server FIFO order. With batch_max_ops <= 1 (the default) none of
+  // this runs: every job takes the single-frame path, byte for byte the
+  // pre-batching wire behaviour.
+  std::optional<TxJob> carry;
+  while (true) {
+    std::optional<TxJob> job =
+        carry.has_value() ? std::exchange(carry, std::nullopt)
+                          : tx_queue_.pop();
+    if (!job.has_value()) break;
+    if (config_.batch_max_ops <= 1) {
+      send_single(*job);
+      continue;
+    }
+    std::vector<TxJob> run;
+    std::size_t run_bytes = wire_payload_bytes(*job);
+    run.push_back(*std::move(job));
+    while (run.size() < config_.batch_max_ops) {
+      std::optional<TxJob> next = tx_queue_.try_pop();
+      if (!next.has_value()) break;  // queue momentarily empty: ship the run
+      if (next->server != run.front().server) {
+        carry = std::move(next);  // different server closes the run
         break;
       }
-      case Opcode::kOpGet:
-      case Opcode::kOpDelete:
-        payload = server::encode_key_request(job->key);
+      const std::size_t next_bytes = wire_payload_bytes(*next);
+      if (run_bytes + next_bytes > config_.batch_max_bytes) {
+        carry = std::move(next);
         break;
-      case Opcode::kOpAdd:
-      case Opcode::kOpReplace:
-      case Opcode::kOpAppend:
-      case Opcode::kOpPrepend:
-        payload = server::encode_set(server::SetRequest{
-            .key = job->key,
-            .value = job->value,
-            .flags = job->flags,
-            .expiration = job->expiration,
-        });
-        break;
-      case Opcode::kOpIncr:
-      case Opcode::kOpDecr:
-        payload = server::encode_counter(
-            job->key, static_cast<std::uint64_t>(job->expiration));
-        break;
-      case Opcode::kOpTouch:
-        payload = server::encode_touch(job->key, job->expiration);
-        break;
-      case Opcode::kOpGets:
-        payload = server::encode_key_request(job->key);
-        break;
-      case Opcode::kOpCas:
-        payload = server::encode_cas(server::CasRequest{
-            .key = job->key,
-            .value = job->value,
-            .flags = job->flags,
-            .expiration = job->expiration,
-            .cas = job->cas_token,
-        });
-        break;
-      case Opcode::kOpFlushAll:
-        break;  // empty payload
-      case Opcode::kOpStats:
-        // Subcommand bytes ride in job.key ("" = legacy counter text).
-        payload.assign(job->key.begin(), job->key.end());
-        break;
-      default:
-        break;
+      }
+      run_bytes += next_bytes;
+      run.push_back(*std::move(next));
     }
-    if (job->deadline_ns != 0) {
-      // Deadline propagation: the server strips this header at receipt and
-      // sheds the request with kBusy if the deadline already passed.
-      payload = server::with_deadline(job->deadline_ns, payload);
+    if (run.size() == 1) {
+      send_single(run.front());  // runs of one are never wrapped
+    } else {
+      send_batch(run);
     }
-    endpoint_->send(job->server, job->opcode, job->wr_id, payload);
-    HYKV_DEBUG("client %llu tx wr=%llu op=%u to=%llu n=%zu",
-               static_cast<unsigned long long>(endpoint_->id()),
-               static_cast<unsigned long long>(job->wr_id), job->opcode,
-               static_cast<unsigned long long>(job->server), payload.size());
-    // NOTE: the response may already be in flight (or even processed) by the
-    // time send() returns -- the request may only be touched via the pending
-    // map, never via job->req.
-    signal_sent(job->wr_id);
   }
+}
+
+std::vector<char> Client::encode_job(const TxJob& job) const {
+  std::vector<char> payload;
+  switch (job.opcode) {
+    case Opcode::kOpSet:
+      // The value span is read *here*, on the engine thread -- this is the
+      // zero-copy hazard window the iset documentation warns about.
+      payload = server::encode_set(server::SetRequest{
+          .key = job.key,
+          .value = job.value,
+          .flags = job.flags,
+          .expiration = job.expiration,
+      });
+      break;
+    case Opcode::kOpGet:
+    case Opcode::kOpDelete:
+      payload = server::encode_key_request(job.key);
+      break;
+    case Opcode::kOpAdd:
+    case Opcode::kOpReplace:
+    case Opcode::kOpAppend:
+    case Opcode::kOpPrepend:
+      payload = server::encode_set(server::SetRequest{
+          .key = job.key,
+          .value = job.value,
+          .flags = job.flags,
+          .expiration = job.expiration,
+      });
+      break;
+    case Opcode::kOpIncr:
+    case Opcode::kOpDecr:
+      payload = server::encode_counter(
+          job.key, static_cast<std::uint64_t>(job.expiration));
+      break;
+    case Opcode::kOpTouch:
+      payload = server::encode_touch(job.key, job.expiration);
+      break;
+    case Opcode::kOpGets:
+      payload = server::encode_key_request(job.key);
+      break;
+    case Opcode::kOpCas:
+      payload = server::encode_cas(server::CasRequest{
+          .key = job.key,
+          .value = job.value,
+          .flags = job.flags,
+          .expiration = job.expiration,
+          .cas = job.cas_token,
+      });
+      break;
+    case Opcode::kOpFlushAll:
+      break;  // empty payload
+    case Opcode::kOpStats:
+      // Subcommand bytes ride in job.key ("" = legacy counter text).
+      payload.assign(job.key.begin(), job.key.end());
+      break;
+    default:
+      break;
+  }
+  return payload;
+}
+
+void Client::register_job_memory(const TxJob& job) {
+  // Model the engine-side registration of the source/destination buffer
+  // (registration cache makes repeats nearly free).
+  if (!job.value.empty()) {
+    endpoint_->register_memory(const_cast<char*>(job.value.data()),
+                               job.value.size());
+  }
+}
+
+void Client::send_single(const TxJob& job) {
+  register_job_memory(job);
+  std::vector<char> payload = encode_job(job);
+  if (job.deadline_ns != 0) {
+    // Deadline propagation: the server strips this header at receipt and
+    // sheds the request with kBusy if the deadline already passed.
+    payload = server::with_deadline(job.deadline_ns, payload);
+  }
+  endpoint_->send(job.server, job.opcode, job.wr_id, payload);
+  HYKV_DEBUG("client %llu tx wr=%llu op=%u to=%llu n=%zu",
+             static_cast<unsigned long long>(endpoint_->id()),
+             static_cast<unsigned long long>(job.wr_id), job.opcode,
+             static_cast<unsigned long long>(job.server), payload.size());
+  // NOTE: the response may already be in flight (or even processed) by the
+  // time send() returns -- the request may only be touched via the pending
+  // map, never via job.req.
+  signal_sent(job.wr_id);
+}
+
+void Client::send_batch(const std::vector<TxJob>& run) {
+  // Each sub-op still registers its own buffer (the HCA needs every source/
+  // destination pinned); only the per-message costs are amortised.
+  std::vector<std::vector<char>> bodies;
+  std::vector<server::BatchItem> items;
+  bodies.reserve(run.size());
+  items.reserve(run.size());
+  std::int64_t deadline_ns = 0;
+  for (const TxJob& job : run) {
+    register_job_memory(job);
+    bodies.push_back(encode_job(job));
+    items.push_back(server::BatchItem{
+        .opcode = job.opcode,
+        .wr_id = job.wr_id,
+        .payload = bodies.back(),
+    });
+    // One propagated deadline header per frame: the tightest sub-op deadline
+    // governs the whole frame (coalesced ops were issued microseconds apart
+    // under the same op_deadline, so the min loses essentially nothing).
+    if (job.deadline_ns != 0 &&
+        (deadline_ns == 0 || job.deadline_ns < deadline_ns)) {
+      deadline_ns = job.deadline_ns;
+    }
+  }
+  std::vector<char> frame = server::encode_batch(items);
+  if (deadline_ns != 0) {
+    frame = server::with_deadline(deadline_ns, frame);
+  }
+  // Count before posting: once the frame is on the wire its ops can complete
+  // and a caller may read counters() before this thread runs again, so
+  // counting after the send would under-report against the server's view.
+  {
+    const MutexLock lock(metrics_mu_);
+    ++counters_.batches_sent;
+    counters_.batched_ops += run.size();
+  }
+  // The outer wr_id mirrors the first sub-op so even a reply to a frame the
+  // server could not decode correlates to a live pending entry.
+  endpoint_->send(run.front().server, Opcode::kOpBatch, run.front().wr_id,
+                  frame);
+  HYKV_DEBUG("client %llu tx batch n=%zu to=%llu bytes=%zu",
+             static_cast<unsigned long long>(endpoint_->id()), run.size(),
+             static_cast<unsigned long long>(run.front().server),
+             frame.size());
+  for (const TxJob& job : run) signal_sent(job.wr_id);
 }
 
 void Client::rx_main() {
   while (true) {
     auto msg = endpoint_->recv();
     if (!msg.ok()) break;
-    if (msg.value().opcode != Opcode::kOpResponse) continue;
-    const auto resp = server::decode_response(msg.value().payload);
-
-    Pending pend;
-    {
-      const MutexLock lock(pending_mu_);
-      auto it = pending_.find(msg.value().wr_id);
-      if (it == pending_.end()) {
-        HYKV_WARN("client %llu: stale response wr=%llu",
+    if (msg.value().opcode == Opcode::kOpBatchResponse) {
+      // Demultiplex a batched response into individual completions. Each
+      // sub-response carries its own wr_id, so completion order/semantics
+      // are identical to the unbatched path.
+      const auto items = server::decode_batch_response(msg.value().payload);
+      if (!items.has_value()) {
+        HYKV_WARN("client %llu: malformed batch response (%zu bytes)",
                   static_cast<unsigned long long>(endpoint_->id()),
-                  static_cast<unsigned long long>(msg.value().wr_id));
-        continue;
+                  msg.value().payload.size());
+        continue;  // affected ops will time out and cancel individually
       }
-      pend = it->second;
-      pending_.erase(it);
-    }
-    release_pending_window(pend.server);
-
-    StatusCode status = resp.has_value() ? resp->status : StatusCode::kServerError;
-    std::uint32_t flags = resp.has_value() ? resp->flags : 0;
-    std::size_t value_len = 0;
-    if (pend.is_get && resp.has_value() && ok(status)) {
-      value_len = resp->value.size();
-      if (value_len <= pend.req->dest_.size()) {
-        // The engine places the fetched value straight into the user's
-        // buffer (the RDMA-write-into-destination step).
-        std::memcpy(pend.req->dest_.data(), resp->value.data(), value_len);
-      } else {
-        status = StatusCode::kBufferTooSmall;
+      for (const auto& item : *items) {
+        complete_one(item.wr_id, item.payload);
       }
+      continue;
     }
-    if (pend.is_get) {
-      const MutexLock lock(metrics_mu_);
-      if (ok(status)) {
-        ++counters_.hits;
-      } else if (status == StatusCode::kNotFound) {
-        ++counters_.misses;
-      }
-    }
-    if (pend.slot >= 0) free_slots_.push(pend.slot);
-    if (status == StatusCode::kBusy || config_.retry_budget != 0) {
-      // Gated so the default happy path never takes metrics_mu_ here.
-      note_response(status);
-    }
-    // Any response proves the server is alive: clear its failure streak
-    // (and readmit it if a probe just succeeded). A kBusy response counts
-    // too -- a busy server is alive, not dead.
-    ring_.record_success(pend.server);
-    HYKV_DEBUG("client %llu rx wr=%llu status=%u",
-               static_cast<unsigned long long>(endpoint_->id()),
-               static_cast<unsigned long long>(msg.value().wr_id),
-               static_cast<unsigned>(status));
-    signal_completion(*pend.req, status, flags, value_len);
+    if (msg.value().opcode != Opcode::kOpResponse) continue;
+    complete_one(msg.value().wr_id, msg.value().payload);
   }
+}
+
+void Client::complete_one(std::uint64_t wr_id,
+                          std::span<const char> response_bytes) {
+  const auto resp = server::decode_response(response_bytes);
+
+  Pending pend;
+  {
+    const MutexLock lock(pending_mu_);
+    auto it = pending_.find(wr_id);
+    if (it == pending_.end()) {
+      HYKV_WARN("client %llu: stale response wr=%llu",
+                static_cast<unsigned long long>(endpoint_->id()),
+                static_cast<unsigned long long>(wr_id));
+      return;
+    }
+    pend = it->second;
+    pending_.erase(it);
+  }
+  release_pending_window(pend.server);
+
+  StatusCode status = resp.has_value() ? resp->status : StatusCode::kServerError;
+  std::uint32_t flags = resp.has_value() ? resp->flags : 0;
+  std::size_t value_len = 0;
+  if (pend.is_get && resp.has_value() && ok(status)) {
+    value_len = resp->value.size();
+    if (value_len <= pend.req->dest_.size()) {
+      // The engine places the fetched value straight into the user's
+      // buffer (the RDMA-write-into-destination step).
+      std::memcpy(pend.req->dest_.data(), resp->value.data(), value_len);
+    } else {
+      status = StatusCode::kBufferTooSmall;
+    }
+  }
+  if (pend.is_get) {
+    const MutexLock lock(metrics_mu_);
+    if (ok(status)) {
+      ++counters_.hits;
+    } else if (status == StatusCode::kNotFound) {
+      ++counters_.misses;
+    }
+  }
+  if (pend.slot >= 0) free_slots_.push(pend.slot);
+  if (status == StatusCode::kBusy || config_.retry_budget != 0) {
+    // Gated so the default happy path never takes metrics_mu_ here.
+    note_response(status);
+  }
+  // Any response proves the server is alive: clear its failure streak
+  // (and readmit it if a probe just succeeded). A kBusy response counts
+  // too -- a busy server is alive, not dead.
+  ring_.record_success(pend.server);
+  HYKV_DEBUG("client %llu rx wr=%llu status=%u",
+             static_cast<unsigned long long>(endpoint_->id()),
+             static_cast<unsigned long long>(wr_id),
+             static_cast<unsigned>(status));
+  signal_completion(*pend.req, status, flags, value_len);
 }
 
 void Client::signal_completion(Request& req, StatusCode status,
@@ -661,8 +793,8 @@ StatusCode Client::flush_all() {
   return worst;
 }
 
-Result<std::string> Client::stats_text(std::size_t server_index,
-                                       std::string_view what) {
+Result<std::string> Client::stats_request(std::size_t server_index,
+                                          std::string_view what) {
   if (server_index >= ring_.servers().size()) return StatusCode::kInvalidArgument;
   const net::EndpointId server = ring_.servers()[server_index];
   Request req;
@@ -678,6 +810,26 @@ Result<std::string> Client::stats_text(std::size_t server_index,
       /*idempotent=*/true);
   if (!ok(code)) return code;
   return std::string(scratch_.data(), req.value_length());
+}
+
+Result<std::string> Client::stats_text(std::size_t server_index,
+                                       StatsKind kind) {
+  // The typed enum is the supported surface; it maps onto the wire-level
+  // subcommand strings the server has always understood.
+  switch (kind) {
+    case StatsKind::kCounters:
+      return stats_request(server_index, "");
+    case StatsKind::kLatency:
+      return stats_request(server_index, "latency");
+    case StatsKind::kTrace:
+      return stats_request(server_index, "trace");
+  }
+  return StatusCode::kInvalidArgument;
+}
+
+Result<std::string> Client::stats_text(std::size_t server_index,
+                                       std::string_view what) {
+  return stats_request(server_index, what);
 }
 
 StatusCode Client::gets(std::string_view key, std::vector<char>& out,
@@ -729,30 +881,65 @@ StatusCode Client::cas(std::string_view key, std::span<const char> value,
       /*idempotent=*/false);
 }
 
-std::vector<std::optional<std::vector<char>>> Client::mget(
+std::vector<Result<std::vector<char>>> Client::mget_status(
     std::span<const std::string> keys) {
-  std::vector<std::optional<std::vector<char>>> results(keys.size());
+  std::vector<Result<std::vector<char>>> results(
+      keys.size(), Result<std::vector<char>>(StatusCode::kInvalidArgument));
   if (keys.empty()) return results;
   // One request + destination buffer per key, all in flight at once --
-  // the whole point of mget over a loop of blocking gets.
-  std::vector<std::unique_ptr<Request>> requests;
-  std::vector<std::vector<char>> dests(keys.size());
-  requests.reserve(keys.size());
+  // the whole point of mget over a loop of blocking gets. Issue order is
+  // grouped by target server so that with batching enabled (batch_max_ops
+  // > 1) the TX engine coalesces each server's gets into one kOpBatch
+  // frame instead of interleaving servers and fragmenting the runs.
+  std::vector<std::size_t> order;
+  order.reserve(keys.size());
   for (std::size_t i = 0; i < keys.size(); ++i) {
-    requests.push_back(std::make_unique<Request>());
+    if (!keys[i].empty()) order.push_back(i);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [this, keys](std::size_t a, std::size_t b) {
+                     return ring_.select(keys[a]) < ring_.select(keys[b]);
+                   });
+  std::vector<std::unique_ptr<Request>> requests(keys.size());
+  std::vector<std::vector<char>> dests(keys.size());
+  // Allocate every destination before issuing anything: zeroing
+  // bounce_slot_bytes per key inside the issue loop would throttle the
+  // issuer below the TX engine's drain rate and starve the coalescer.
+  for (const std::size_t i : order) {
+    requests[i] = std::make_unique<Request>();
     dests[i].resize(config_.bounce_slot_bytes);
-    if (keys[i].empty() ||
-        !ok(iget(keys[i], dests[i], *requests.back()))) {
-      requests.back().reset();
+  }
+  for (const std::size_t i : order) {
+    const StatusCode issued = iget(keys[i], dests[i], *requests[i]);
+    if (!ok(issued)) {
+      results[i] = Result<std::vector<char>>(issued);
+      requests[i].reset();
     }
   }
   for (std::size_t i = 0; i < keys.size(); ++i) {
     if (requests[i] == nullptr) continue;
     wait(*requests[i]);
-    if (ok(requests[i]->status())) {
+    const StatusCode status = requests[i]->status();
+    if (ok(status)) {
       dests[i].resize(requests[i]->value_length());
-      results[i] = std::move(dests[i]);
+      results[i] = Result<std::vector<char>>(std::move(dests[i]));
+    } else {
+      // kNotFound (a genuine miss) stays distinguishable from kTimedOut /
+      // kBusy / kServerDown -- the distinction mget() used to flatten away.
+      results[i] = Result<std::vector<char>>(status);
     }
+  }
+  return results;
+}
+
+std::vector<std::optional<std::vector<char>>> Client::mget(
+    std::span<const std::string> keys) {
+  // Compatibility shape: every non-kOk outcome (miss, timeout, busy, down)
+  // flattens to nullopt. Callers that care use mget_status directly.
+  std::vector<Result<std::vector<char>>> detailed = mget_status(keys);
+  std::vector<std::optional<std::vector<char>>> results(keys.size());
+  for (std::size_t i = 0; i < detailed.size(); ++i) {
+    if (detailed[i].ok()) results[i] = std::move(detailed[i]).value();
   }
   return results;
 }

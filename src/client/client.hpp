@@ -91,6 +91,20 @@ struct ClientConfig {
   /// Requires op_deadline > 0 to have any effect.
   bool propagate_deadline = false;
 
+  // ---- Doorbell batching (DESIGN.md §12; default-off, keeping the wire
+  //      byte-for-byte the pre-batching behaviour) ----
+  /// TX coalescing bound: the engine opportunistically drains the TX queue
+  /// and packs up to this many *consecutive same-server* requests into one
+  /// kOpBatch frame, paying the per-message fabric costs (doorbell,
+  /// propagation, response post) once per frame instead of once per op.
+  /// 1 (default) disables coalescing entirely -- every op is its own frame,
+  /// byte-identical to the unbatched protocol. A run of length 1 is always
+  /// sent as a plain frame, never wrapped.
+  std::size_t batch_max_ops = 1;
+  /// Byte bound on one batch frame's accumulated key+value payload; the
+  /// engine closes the frame early when the next op would exceed it.
+  std::size_t batch_max_bytes = std::size_t{256} << 10;
+
   // ---- Observability (DESIGN.md §10) ----
   /// Per-op-class issue->complete latency histograms (op_latency()): the
   /// client-side view of the same request the server histograms time, so the
@@ -113,6 +127,26 @@ struct ClientCounters {
   std::uint64_t busy = 0;           ///< kBusy responses (server shed/expired).
   std::uint64_t busy_fail_fast = 0; ///< Issues refused: local window full.
   std::uint64_t retry_budget_exhausted = 0;  ///< Retries skipped: no tokens.
+  std::uint64_t batches_sent = 0;   ///< kOpBatch frames posted by the engine.
+  std::uint64_t batched_ops = 0;    ///< Ops that rode inside those frames.
+
+  /// Average ops per batch frame (the batch-fill ratio); 0 when no frame
+  /// has been sent. Single-op sends bypass the batch path entirely, so this
+  /// is always >= 2 once nonzero.
+  [[nodiscard]] double batch_fill() const noexcept {
+    return batches_sent == 0
+               ? 0.0
+               : static_cast<double>(batched_ops) /
+                     static_cast<double>(batches_sent);
+  }
+};
+
+/// Typed `stats` subcommand selector (replaces the stringly-typed `what`
+/// argument of the deprecated stats_text overload).
+enum class StatsKind {
+  kCounters,  ///< Legacy counter text ("" on the wire; frozen format).
+  kLatency,   ///< Histogram percentiles ("latency").
+  kTrace,     ///< Sampled op timelines as JSON ("trace").
 };
 
 class Client {
@@ -157,9 +191,15 @@ class Client {
   /// memcached flush_all across every server in the ring.
   StatusCode flush_all();
 
-  /// memcached "stats" from one server, as "name value" lines. `what`
-  /// selects a stats subcommand: "" = the legacy counter text, "latency" =
-  /// histogram percentiles, "trace" = sampled op timelines (JSON).
+  /// memcached "stats" from one server, as "name value" lines. The typed
+  /// StatsKind selects the subcommand; this is the preferred overload.
+  Result<std::string> stats_text(std::size_t server_index, StatsKind kind);
+
+  /// DEPRECATED stringly-typed variant, kept as a thin shim so compat.cpp
+  /// and existing callers still build (no [[deprecated]] attribute: the tree
+  /// builds with -Werror). `what` rides verbatim on the wire: "" = legacy
+  /// counter text, "latency", "trace"; anything else answers
+  /// kInvalidArgument server-side. New code should pass a StatsKind.
   Result<std::string> stats_text(std::size_t server_index = 0,
                                  std::string_view what = {});
 
@@ -174,9 +214,19 @@ class Client {
                  std::int64_t expiration = 0);
 
   /// memcached_mget: fetches many keys with one pipelined burst of
-  /// non-blocking Gets (scattered over the ring), waiting for all of them.
+  /// non-blocking Gets, issued grouped by target server so the TX engine's
+  /// coalescing turns each server's keys into one (or few) batch frames.
   /// Returns one entry per input key; missing keys yield an empty optional.
+  /// Implemented on mget_status -- any per-key failure (timeout, busy,
+  /// server down) also collapses to an empty optional here.
   std::vector<std::optional<std::vector<char>>> mget(
+      std::span<const std::string> keys);
+
+  /// Like mget, but status-preserving: each entry is the key's value (kOk),
+  /// or the per-key terminal status -- kNotFound for a true miss, kTimedOut/
+  /// kBusy/kServerDown/... for delivery failures -- so callers can tell a
+  /// miss from a key they should retry.
+  std::vector<Result<std::vector<char>>> mget_status(
       std::span<const std::string> keys);
 
   // ---- Non-blocking API (Listing 1) ----
@@ -265,6 +315,26 @@ class Client {
 
   void tx_main();
   void rx_main();
+  /// Encodes one job's request payload (the per-opcode wire encoding,
+  /// without the deadline envelope). Shared by the single-frame and batch
+  /// TX paths so both emit byte-identical op encodings.
+  [[nodiscard]] std::vector<char> encode_job(const TxJob& job) const;
+  /// Registers the job's source/destination memory with the engine
+  /// (registration-cache hits make repeats nearly free).
+  void register_job_memory(const TxJob& job);
+  /// Sends one job as a plain single-op frame (the pre-batching wire
+  /// behaviour, byte for byte) and signals its local send completion.
+  void send_single(const TxJob& job);
+  /// Sends a coalesced run (>= 2 consecutive same-server jobs) as one
+  /// kOpBatch frame carrying per-op wr_ids and the minimum propagated
+  /// deadline, then signals each op's local send completion.
+  void send_batch(const std::vector<TxJob>& run);
+  /// Completes the pending op `wr_id` from its raw RESP-encoded bytes
+  /// (undecodable bytes complete as kServerError): pending-map erase, GET
+  /// value placement, hit/miss + overload counters, bounce-slot release,
+  /// ring health, completion signal. Shared by the single-response and
+  /// batch-demux RX paths.
+  void complete_one(std::uint64_t wr_id, std::span<const char> response_bytes);
   /// Publishes req's result and wakes waiters. Last access to `req`.
   void signal_completion(Request& req, StatusCode status, std::uint32_t flags,
                          std::size_t value_len);
@@ -305,6 +375,10 @@ class Client {
   /// Drops the per-server in-flight count for an unregistered request.
   /// Call after erasing its pending-map entry (no-op when the window is off).
   void release_pending_window(net::EndpointId server);
+  /// Raw stats round trip with the subcommand bytes sent verbatim; the
+  /// typed and deprecated stats_text overloads are both shims over this.
+  Result<std::string> stats_request(std::size_t server_index,
+                                    std::string_view what);
   std::uint64_t next_wr_id() REQUIRES(pending_mu_) { return wr_id_seq_++; }
 
   net::Fabric& fabric_;

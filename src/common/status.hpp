@@ -36,8 +36,12 @@ enum class StatusCode : std::uint8_t {
                     ///< safe to retry). A busy server is alive, not dead.
 };
 
-/// Human-readable name for logging and test diagnostics.
-constexpr std::string_view to_string(StatusCode code) noexcept {
+/// The canonical status-code-to-string mapping: the single place a
+/// StatusCode gains a human-readable name. Everything that prints a status
+/// (logging, stats rendering, test diagnostics) goes through this function
+/// (directly or via the to_string alias below), so a new enumerator is named
+/// exactly once.
+constexpr std::string_view status_name(StatusCode code) noexcept {
   switch (code) {
     case StatusCode::kOk: return "OK";
     case StatusCode::kNotFound: return "NOT_FOUND";
@@ -55,6 +59,12 @@ constexpr std::string_view to_string(StatusCode code) noexcept {
     case StatusCode::kBusy: return "BUSY";
   }
   return "UNKNOWN";
+}
+
+/// ADL-friendly alias for status_name (kept so `<< to_string(code)` call
+/// sites and generic code keep working; new code should prefer status_name).
+constexpr std::string_view to_string(StatusCode code) noexcept {
+  return status_name(code);
 }
 
 constexpr bool ok(StatusCode code) noexcept { return code == StatusCode::kOk; }

@@ -96,6 +96,8 @@ std::unique_ptr<client::Client> TestBed::make_client(std::string name) {
   cfg.max_pending_per_server = config_.client_max_pending_per_server;
   cfg.propagate_deadline = config_.client_propagate_deadline;
   cfg.record_latency = config_.client_record_latency;
+  cfg.batch_max_ops = config_.client_batch_max_ops;
+  cfg.batch_max_bytes = config_.client_batch_max_bytes;
   return std::make_unique<client::Client>(*fabric_, std::move(cfg), &backend_);
 }
 

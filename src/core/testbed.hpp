@@ -77,6 +77,12 @@ struct TestBedConfig {
   unsigned server_trace_sample_shift = 0;
   /// Client-side issue->complete histograms handed to every make_client().
   bool client_record_latency = true;
+
+  // ---- Doorbell batching (DESIGN.md §12; default-off) ----
+  /// TX coalescing bound handed to every make_client() (<=1 = off).
+  std::size_t client_batch_max_ops = 1;
+  /// Byte ceiling for one coalesced frame (keys+values of the run).
+  std::size_t client_batch_max_bytes = std::size_t{256} << 10;
 };
 
 class TestBed {

@@ -39,6 +39,9 @@ enum Opcode : std::uint16_t {
                     ///< "key value\n" text (JSON for "trace").
   kOpGets = 14,     ///< GET encoding; resp value = [u64 cas][value bytes].
   kOpCas = 15,      ///< [u32 key_len][u32 flags][i64 exp][u64 cas][key][value].
+  kOpBatch = 16,    ///< Coalesced frame: [u32 n] + n length-prefixed sub-
+                    ///< requests, each [u16 opcode][u64 wr_id][u32 len][body].
+  kOpBatchResponse = 17,  ///< [u32 n] + n of [u64 wr_id][u32 len][RESP bytes].
 };
 
 /// Observability op class of an opcode: the histogram bucket a well-formed
@@ -319,6 +322,156 @@ inline std::optional<std::uint64_t> decode_counter_value(std::span<const char> p
   std::uint64_t v = 0;
   std::memcpy(&v, payload.data(), 8);
   return v;
+}
+
+// ---- Batched frames (doorbell batching, DESIGN.md §12) ----
+//
+// The client TX engine coalesces consecutive same-server requests into one
+// kOpBatch frame so the per-message fabric costs (doorbell, propagation,
+// response post) are paid once per frame instead of once per op. Layout
+// (inner payload -- an optional deadline envelope may wrap the whole frame):
+//
+//   BATCH : [u32 op_count] then op_count times
+//           [u16 opcode][u64 wr_id][u32 len][len bytes of that op's encoding]
+//   BRESP : [u32 op_count] then op_count times
+//           [u64 wr_id][u32 len][len bytes of RESP encoding]
+//
+// Correlation: the outer Message::wr_id carries the *first* sub-op's wr_id
+// (so even a reply to an undecodable frame reaches a real pending entry);
+// per-op completion rides on the wr_ids inside the frame. Decoding is strict
+// where the handlers need it to be: zero ops, a count that cannot fit the
+// remaining bytes, truncated items, or trailing garbage all yield nullopt
+// (the server answers kInvalidArgument, never executes a partial frame).
+
+namespace detail {
+inline void append_u16(std::vector<char>& out, std::uint16_t v) {
+  const auto offset = out.size();
+  out.resize(offset + 2);
+  std::memcpy(out.data() + offset, &v, 2);
+}
+inline bool read_u16(std::span<const char> in, std::size_t& pos, std::uint16_t& v) {
+  if (pos + 2 > in.size()) return false;
+  std::memcpy(&v, in.data() + pos, 2);
+  pos += 2;
+  return true;
+}
+inline void append_u64(std::vector<char>& out, std::uint64_t v) {
+  const auto offset = out.size();
+  out.resize(offset + 8);
+  std::memcpy(out.data() + offset, &v, 8);
+}
+inline bool read_u64(std::span<const char> in, std::size_t& pos, std::uint64_t& v) {
+  if (pos + 8 > in.size()) return false;
+  std::memcpy(&v, in.data() + pos, 8);
+  pos += 8;
+  return true;
+}
+}  // namespace detail
+
+/// One sub-request of a kOpBatch frame (views into the frame payload).
+struct BatchItem {
+  std::uint16_t opcode = 0;
+  std::uint64_t wr_id = 0;
+  std::span<const char> payload{};
+};
+
+/// One sub-response of a kOpBatchResponse frame (views into the payload).
+struct BatchResponseItem {
+  std::uint64_t wr_id = 0;
+  std::span<const char> payload{};
+};
+
+/// Fixed bytes per batch item before its body ([u16 opcode][u64 wr][u32 len]).
+inline constexpr std::size_t kBatchItemHeaderBytes = 14;
+/// Fixed bytes per batch-response item ([u64 wr][u32 len]).
+inline constexpr std::size_t kBatchResponseHeaderBytes = 12;
+
+inline std::vector<char> encode_batch(std::span<const BatchItem> items) {
+  std::size_t total = 4;
+  for (const BatchItem& item : items) {
+    total += kBatchItemHeaderBytes + item.payload.size();
+  }
+  std::vector<char> out;
+  out.reserve(total);
+  detail::append_u32(out, static_cast<std::uint32_t>(items.size()));
+  for (const BatchItem& item : items) {
+    detail::append_u16(out, item.opcode);
+    detail::append_u64(out, item.wr_id);
+    detail::append_u32(out, static_cast<std::uint32_t>(item.payload.size()));
+    out.insert(out.end(), item.payload.begin(), item.payload.end());
+  }
+  return out;
+}
+
+inline std::optional<std::vector<BatchItem>> decode_batch(
+    std::span<const char> payload) {
+  std::size_t pos = 0;
+  std::uint32_t count = 0;
+  if (!detail::read_u32(payload, pos, count)) return std::nullopt;
+  if (count == 0) return std::nullopt;  // empty frames are malformed
+  // Oversized-count guard: each item needs at least its fixed header, so a
+  // count the remaining bytes cannot possibly hold is rejected before any
+  // reserve/parse work (a hostile 0xFFFFFFFF count must not allocate).
+  if (count > (payload.size() - pos) / kBatchItemHeaderBytes) {
+    return std::nullopt;
+  }
+  std::vector<BatchItem> items;
+  items.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    BatchItem item;
+    std::uint32_t len = 0;
+    if (!detail::read_u16(payload, pos, item.opcode)) return std::nullopt;
+    if (!detail::read_u64(payload, pos, item.wr_id)) return std::nullopt;
+    if (!detail::read_u32(payload, pos, len)) return std::nullopt;
+    if (len > payload.size() - pos) return std::nullopt;
+    item.payload = payload.subspan(pos, len);
+    pos += len;
+    items.push_back(item);
+  }
+  if (pos != payload.size()) return std::nullopt;  // trailing garbage
+  return items;
+}
+
+inline std::vector<char> encode_batch_response(
+    std::span<const BatchResponseItem> items) {
+  std::size_t total = 4;
+  for (const BatchResponseItem& item : items) {
+    total += kBatchResponseHeaderBytes + item.payload.size();
+  }
+  std::vector<char> out;
+  out.reserve(total);
+  detail::append_u32(out, static_cast<std::uint32_t>(items.size()));
+  for (const BatchResponseItem& item : items) {
+    detail::append_u64(out, item.wr_id);
+    detail::append_u32(out, static_cast<std::uint32_t>(item.payload.size()));
+    out.insert(out.end(), item.payload.begin(), item.payload.end());
+  }
+  return out;
+}
+
+inline std::optional<std::vector<BatchResponseItem>> decode_batch_response(
+    std::span<const char> payload) {
+  std::size_t pos = 0;
+  std::uint32_t count = 0;
+  if (!detail::read_u32(payload, pos, count)) return std::nullopt;
+  if (count == 0) return std::nullopt;
+  if (count > (payload.size() - pos) / kBatchResponseHeaderBytes) {
+    return std::nullopt;
+  }
+  std::vector<BatchResponseItem> items;
+  items.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    BatchResponseItem item;
+    std::uint32_t len = 0;
+    if (!detail::read_u64(payload, pos, item.wr_id)) return std::nullopt;
+    if (!detail::read_u32(payload, pos, len)) return std::nullopt;
+    if (len > payload.size() - pos) return std::nullopt;
+    item.payload = payload.subspan(pos, len);
+    pos += len;
+    items.push_back(item);
+  }
+  if (pos != payload.size()) return std::nullopt;
+  return items;
 }
 
 }  // namespace hykv::server

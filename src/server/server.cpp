@@ -92,6 +92,9 @@ constexpr StatsField kStatsFields[] = {
      [](const StatsSnapshot& s) {
        return static_cast<std::uint64_t>(s.slab.used_chunks);
      }},
+    {"batches", [](const StatsSnapshot& s) { return s.counters.batches; }},
+    {"batched_ops",
+     [](const StatsSnapshot& s) { return s.counters.batched_ops; }},
 };
 
 /// Per-histogram stats emitted for each op/span histogram, in order.
@@ -247,11 +250,40 @@ bool MemcachedServer::admit(const net::Message& request) {
   const bool inflight_full = config_.max_inflight > 0 &&
                              inflight_.load(kRelaxed) >= config_.max_inflight;
   if (!queue_full && !inflight_full) return true;
-  // Reject cheaply at receipt: no payload decode, no slab/SSD phase -- just
-  // a 5-byte kBusy response so the client backs off instead of queueing
-  // behind work the server cannot absorb. The network thread owns metrics
-  // slot 0, so these are the usual uncontended relaxed adds.
+  // Reject cheaply at receipt: no slab/SSD phase -- just a kBusy response so
+  // the client backs off instead of queueing behind work the server cannot
+  // absorb. The network thread owns metrics slot 0, so these are the usual
+  // uncontended relaxed adds.
   WorkerMetrics& metrics = metrics_[0];
+  if (request.opcode == kOpBatch) {
+    // Shedding accounting stays exact per sub-op: a frame of n ops sheds n
+    // requests, and every sub-op gets its own kBusy so the client retries
+    // each one individually (no silent timeouts). This pays the frame decode
+    // -- header walking only, no store work -- which is the price of exact
+    // admission accounting under batching.
+    const auto envelope = split_deadline(request.payload);
+    const auto items = decode_batch(envelope.inner);
+    if (items.has_value()) {
+      const std::size_t n = items->size();
+      metrics.requests.fetch_add(n, kRelaxed);
+      metrics.shed.fetch_add(n, kRelaxed);
+      metrics.batches.fetch_add(1, kRelaxed);
+      metrics.batched_ops.fetch_add(n, kRelaxed);
+      std::vector<std::vector<char>> bodies;
+      std::vector<BatchResponseItem> responses;
+      bodies.reserve(n);
+      responses.reserve(n);
+      for (const BatchItem& item : *items) {
+        bodies.push_back(encode_response(StatusCode::kBusy, 0));
+        responses.push_back(BatchResponseItem{item.wr_id, bodies.back()});
+      }
+      endpoint_->send(request.src, kOpBatchResponse, request.wr_id,
+                      encode_batch_response(responses));
+      return false;
+    }
+    // Undecodable frame: fall through to the single-request accounting (one
+    // malformed-looking arrival, one plain kBusy).
+  }
   metrics.requests.fetch_add(1, kRelaxed);
   metrics.shed.fetch_add(1, kRelaxed);
   endpoint_->send(request.src, kOpResponse, request.wr_id,
@@ -270,39 +302,14 @@ void MemcachedServer::worker_main(std::size_t worker_index) {
   }
 }
 
-void MemcachedServer::handle(const net::Message& request,
-                             WorkerMetrics& metrics,
-                             const RequestContext& ctx) {
-  using Clock = std::chrono::steady_clock;
-  StatusCode status = StatusCode::kInvalidArgument;
-  std::uint32_t flags = 0;
-  std::vector<char> value;
-  bool has_value = false;
-  StageBreakdown stages;
+MemcachedServer::OpResult MemcachedServer::execute_op(
+    std::uint16_t opcode, std::span<const char> body, WorkerMetrics& metrics,
+    StageBreakdown& stages, std::vector<char>& value, metrics::Op& op_cls) {
+  OpResult result;
+  StatusCode& status = result.status;
+  std::uint32_t& flags = result.flags;
+  bool& has_value = result.has_value;
 
-  metrics.requests.fetch_add(1, kRelaxed);
-
-  // Observability (DESIGN.md §10). Everything below is skipped entirely when
-  // both the recorder and the tracer are off -- not even a clock read.
-  metrics::LatencyRecorder* const recorder = recorder_.get();
-  std::uint64_t trace_seq = 0;
-  const bool traced = tracer_ != nullptr && tracer_->sample(trace_seq);
-  const bool observing = recorder != nullptr || traced;
-  metrics::Op op_cls = op_class(request.opcode);
-  if (recorder != nullptr) {
-    // Fabric-transfer span: post -> delivery, stamped by the sender. Guarded
-    // because hand-built messages (tests) may lack the stamp.
-    if (request.sent_at != sim::TimePoint{}) {
-      recorder->record_span(metrics::Span::kFabricTransfer,
-                            metrics::delta_ns(request.sent_at,
-                                              request.deliver_at));
-    }
-    if (ctx.dequeued_at > ctx.received_at) {
-      recorder->record_span(metrics::Span::kAdmissionWait,
-                            metrics::delta_ns(ctx.received_at,
-                                              ctx.dequeued_at));
-    }
-  }
   // Malformed requests land in the kOther histogram whatever their opcode
   // claimed (mirrors the `malformed` counter).
   const auto count_malformed = [&metrics, &op_cls] {
@@ -310,26 +317,7 @@ void MemcachedServer::handle(const net::Message& request,
     op_cls = metrics::Op::kOther;
   };
 
-  // Deadline propagation: strip the optional client-deadline header and drop
-  // expired-on-arrival work *before* paying the slab/SSD phase -- the client
-  // has already given up on it, so executing it is pure waste. The reply is
-  // kBusy (cheap, no side effects); a client that raced its own deadline
-  // treats it exactly like the timeout it was about to declare.
-  const auto envelope = split_deadline(request.payload);
-  if (envelope.deadline_ns != 0 &&
-      Clock::now().time_since_epoch().count() > envelope.deadline_ns) {
-    metrics.expired_on_arrival.fetch_add(1, kRelaxed);
-    endpoint_->send(request.src, kOpResponse, request.wr_id,
-                    encode_response(StatusCode::kBusy, 0));
-    return;
-  }
-  const std::span<const char> body = envelope.inner;
-
-  // Store phase span: opcode dispatch including the store call(s).
-  const Clock::time_point store_start =
-      observing ? Clock::now() : Clock::time_point{};
-
-  switch (request.opcode) {
+  switch (opcode) {
     case kOpSet: {
       const auto req = decode_set(body);
       if (req.has_value()) {
@@ -368,7 +356,7 @@ void MemcachedServer::handle(const net::Message& request,
     case kOpPrepend: {
       const auto req = decode_set(body);
       if (req.has_value()) {
-        switch (request.opcode) {
+        switch (opcode) {
           case kOpAdd:
             status = manager_.add(req->key, req->value, req->flags,
                                   req->expiration, &stages);
@@ -394,12 +382,12 @@ void MemcachedServer::handle(const net::Message& request,
     case kOpDecr: {
       const auto req = decode_counter(body);
       if (req.has_value()) {
-        const auto result = request.opcode == kOpIncr
-                                ? manager_.incr(req->key, req->delta, &stages)
-                                : manager_.decr(req->key, req->delta, &stages);
-        status = result.status();
-        if (result.ok()) {
-          value = encode_counter_value(result.value());
+        const auto result_v = opcode == kOpIncr
+                                  ? manager_.incr(req->key, req->delta, &stages)
+                                  : manager_.decr(req->key, req->delta, &stages);
+        status = result_v.status();
+        if (result_v.ok()) {
+          value = encode_counter_value(result_v.value());
           has_value = true;
         }
         metrics.sets.fetch_add(1, kRelaxed);
@@ -438,8 +426,8 @@ void MemcachedServer::handle(const net::Message& request,
         has_value = true;
         status = StatusCode::kOk;
       } else if (what == "latency") {
-        const std::string text = recorder != nullptr
-                                     ? render_latency_text(*recorder)
+        const std::string text = recorder_ != nullptr
+                                     ? render_latency_text(*recorder_)
                                      : std::string("latency_recording 0\n");
         value.assign(text.begin(), text.end());
         has_value = true;
@@ -491,12 +479,80 @@ void MemcachedServer::handle(const net::Message& request,
       break;
     }
   }
+  return result;
+}
+
+void MemcachedServer::handle(const net::Message& request,
+                             WorkerMetrics& metrics,
+                             const RequestContext& ctx) {
+  using Clock = std::chrono::steady_clock;
+
+  // Observability (DESIGN.md §10). Recorder/tracer touches are skipped
+  // entirely when both are off -- not even a clock read.
+  metrics::LatencyRecorder* const recorder = recorder_.get();
+  if (recorder != nullptr) {
+    // Fabric-transfer span: post -> delivery, stamped by the sender. Guarded
+    // because hand-built messages (tests) may lack the stamp. Recorded once
+    // per *message*, so a batch frame contributes one transfer span.
+    if (request.sent_at != sim::TimePoint{}) {
+      recorder->record_span(metrics::Span::kFabricTransfer,
+                            metrics::delta_ns(request.sent_at,
+                                              request.deliver_at));
+    }
+    if (ctx.dequeued_at > ctx.received_at) {
+      recorder->record_span(metrics::Span::kAdmissionWait,
+                            metrics::delta_ns(ctx.received_at,
+                                              ctx.dequeued_at));
+    }
+  }
+
+  // Deadline propagation: strip the optional client-deadline header before
+  // anything else so expired work is dropped *before* paying the slab/SSD
+  // phase -- the client has already given up on it.
+  const auto envelope = split_deadline(request.payload);
+
+  if (request.opcode == kOpBatch) {
+    // Coalesced frame: vectorized execution with per-sub-op accounting.
+    // Batch frames are not individually traced (the tracer samples single
+    // requests); their latency still lands per sub-op in the recorder.
+    handle_batch(request, envelope.deadline_ns, envelope.inner, metrics, ctx);
+    return;
+  }
+
+  metrics.requests.fetch_add(1, kRelaxed);
+
+  std::uint64_t trace_seq = 0;
+  const bool traced = tracer_ != nullptr && tracer_->sample(trace_seq);
+  const bool observing = recorder != nullptr || traced;
+  metrics::Op op_cls = op_class(request.opcode);
+
+  // Expired on arrival: the reply is kBusy (cheap, no side effects); a
+  // client that raced its own deadline treats it exactly like the timeout
+  // it was about to declare.
+  if (envelope.deadline_ns != 0 &&
+      Clock::now().time_since_epoch().count() > envelope.deadline_ns) {
+    metrics.expired_on_arrival.fetch_add(1, kRelaxed);
+    endpoint_->send(request.src, kOpResponse, request.wr_id,
+                    encode_response(StatusCode::kBusy, 0));
+    return;
+  }
+  const std::span<const char> body = envelope.inner;
+
+  // Store phase span: opcode dispatch including the store call(s).
+  const Clock::time_point store_start =
+      observing ? Clock::now() : Clock::time_point{};
+
+  std::vector<char> value;
+  StageBreakdown stages;
+  const OpResult op = execute_op(request.opcode, body, metrics, stages, value,
+                                 op_cls);
+  const StatusCode status = op.status;
 
   // Server response stage: format + hand to the NIC.
   const auto response_start = Clock::now();
   const auto payload = encode_response(
-      status, flags,
-      has_value ? std::span<const char>(value) : std::span<const char>{});
+      status, op.flags,
+      op.has_value ? std::span<const char>(value) : std::span<const char>{});
   HYKV_DEBUG("server %llu handled wr=%llu op=%u -> status=%u",
              static_cast<unsigned long long>(endpoint_->id()),
              static_cast<unsigned long long>(request.wr_id), request.opcode,
@@ -560,6 +616,113 @@ void MemcachedServer::handle(const net::Message& request,
   metrics.stage_ops.fetch_add(stages.ops(), kRelaxed);
 }
 
+void MemcachedServer::handle_batch(const net::Message& request,
+                                   std::int64_t deadline_ns,
+                                   std::span<const char> body,
+                                   WorkerMetrics& metrics,
+                                   const RequestContext& ctx) {
+  using Clock = std::chrono::steady_clock;
+  metrics::LatencyRecorder* const recorder = recorder_.get();
+
+  const auto items = decode_batch(body);
+  if (!items.has_value()) {
+    // Undecodable frame: ONE malformed request (there is no trustworthy
+    // sub-op count to charge), answered with a single plain response so the
+    // client's first pending op -- the outer wr_id -- fails fast; any other
+    // ops the sender meant to pack will cancel at their deadlines.
+    metrics.requests.fetch_add(1, kRelaxed);
+    metrics.malformed.fetch_add(1, kRelaxed);
+    const auto start = ctx.received_at;
+    endpoint_->send(request.src, kOpResponse, request.wr_id,
+                    encode_response(StatusCode::kInvalidArgument, 0));
+    if (recorder != nullptr) {
+      recorder->record_op(metrics::Op::kOther,
+                          metrics::delta_ns(start, sim::now()));
+    }
+    return;
+  }
+
+  // Admission-exact accounting: a frame of n sub-ops is n requests, exactly
+  // as if they had arrived individually (requests == ops_sum() invariant).
+  const std::size_t n = items->size();
+  metrics.requests.fetch_add(n, kRelaxed);
+  metrics.batches.fetch_add(1, kRelaxed);
+  metrics.batched_ops.fetch_add(n, kRelaxed);
+
+  std::vector<std::vector<char>> bodies;
+  std::vector<BatchResponseItem> responses;
+  bodies.reserve(n);
+  responses.reserve(n);
+
+  // The frame carries one propagated deadline (the tightest sub-op's): if it
+  // passed in flight, every sub-op is expired on arrival -- all-kBusy reply,
+  // no store work.
+  if (deadline_ns != 0 &&
+      Clock::now().time_since_epoch().count() > deadline_ns) {
+    metrics.expired_on_arrival.fetch_add(n, kRelaxed);
+    for (const BatchItem& item : *items) {
+      bodies.push_back(encode_response(StatusCode::kBusy, 0));
+      responses.push_back(BatchResponseItem{item.wr_id, bodies.back()});
+    }
+    endpoint_->send(request.src, kOpBatchResponse, request.wr_id,
+                    encode_batch_response(responses));
+    return;
+  }
+
+  // Vectorized store phase: each sub-op runs through the same dispatch as a
+  // single request (same counters, same store calls); the store-phase span
+  // covers the whole frame.
+  StageBreakdown stages;
+  std::vector<metrics::Op> op_classes;
+  op_classes.reserve(n);
+  const Clock::time_point store_start =
+      recorder != nullptr ? Clock::now() : Clock::time_point{};
+  for (const BatchItem& item : *items) {
+    std::vector<char> value;
+    metrics::Op op_cls = op_class(item.opcode);
+    const OpResult op =
+        execute_op(item.opcode, item.payload, metrics, stages, value, op_cls);
+    op_classes.push_back(op_cls);
+    bodies.push_back(encode_response(
+        op.status, op.flags,
+        op.has_value ? std::span<const char>(value) : std::span<const char>{}));
+    responses.push_back(BatchResponseItem{item.wr_id, bodies.back()});
+  }
+
+  // One response doorbell for the whole frame -- the server-side half of the
+  // amortization the client started.
+  const auto response_start = Clock::now();
+  const auto frame = encode_batch_response(responses);
+  HYKV_DEBUG("server %llu handled batch wr=%llu n=%zu",
+             static_cast<unsigned long long>(endpoint_->id()),
+             static_cast<unsigned long long>(request.wr_id), n);
+  endpoint_->send(request.src, kOpBatchResponse, request.wr_id, frame);
+  const auto response_end = Clock::now();
+  stages.add(Stage::kServerResponse, response_end - response_start);
+  stages.add_ops(n);
+
+  if (recorder != nullptr) {
+    // Per sub-op latency (receipt -> batched response sent) keeps the
+    // METRICS.md balance: sum of op counts == requests - shed -
+    // expired_on_arrival. Store/response spans are per *frame* -- spans
+    // measure pipeline phases, not ops.
+    for (const metrics::Op op_cls : op_classes) {
+      recorder->record_op(op_cls,
+                          metrics::delta_ns(ctx.received_at, response_end));
+    }
+    recorder->record_span(metrics::Span::kStorePhase,
+                          metrics::delta_ns(store_start, response_start));
+    recorder->record_span(metrics::Span::kResponse,
+                          metrics::delta_ns(response_start, response_end));
+  }
+
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    const std::uint64_t ns = stages.total_ns(static_cast<Stage>(i));
+    if (ns != 0) metrics.stage_ns[i].fetch_add(ns, kRelaxed);
+  }
+  metrics.stage_ops.fetch_add(stages.ops(), kRelaxed);
+}
+
 std::vector<char> MemcachedServer::render_stats() const {
   const std::string text =
       render_stats_text(counters(), manager_.stats(), manager_.slab_stats(),
@@ -592,6 +755,8 @@ ServerCounters MemcachedServer::counters() const {
     c.malformed += slot.malformed.load(kRelaxed);
     c.shed += slot.shed.load(kRelaxed);
     c.expired_on_arrival += slot.expired_on_arrival.load(kRelaxed);
+    c.batches += slot.batches.load(kRelaxed);
+    c.batched_ops += slot.batched_ops.load(kRelaxed);
   }
   return c;
 }
@@ -609,6 +774,8 @@ void MemcachedServer::reset_metrics() {
     slot.malformed.store(0, kRelaxed);
     slot.shed.store(0, kRelaxed);
     slot.expired_on_arrival.store(0, kRelaxed);
+    slot.batches.store(0, kRelaxed);
+    slot.batched_ops.store(0, kRelaxed);
   }
   if (recorder_ != nullptr) recorder_->reset();
   if (tracer_ != nullptr) tracer_->reset();

@@ -31,12 +31,14 @@
 #include <array>
 #include <atomic>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
 #include "common/metrics.hpp"
+#include "common/status.hpp"
 #include "common/queue.hpp"
 #include "common/stage.hpp"
 #include "common/thread_annotations.hpp"
@@ -94,6 +96,14 @@ struct ServerCounters {
   std::uint64_t malformed = 0;
   std::uint64_t shed = 0;     ///< Rejected kBusy at receipt (admission full).
   std::uint64_t expired_on_arrival = 0;  ///< Dropped: client deadline passed.
+
+  // Doorbell batching (DESIGN.md §12). Informational frame counters, NOT part
+  // of ops_sum(): a kOpBatch frame of n sub-ops bumps `requests` by n and each
+  // sub-op lands in its per-op counter above exactly as if sent individually,
+  // so requests == ops_sum() still balances. These two only describe *how*
+  // the ops arrived (batched_ops / batches = achieved server-side fill).
+  std::uint64_t batches = 0;      ///< Well-formed kOpBatch frames received.
+  std::uint64_t batched_ops = 0;  ///< Sub-ops carried by those frames.
 
   [[nodiscard]] std::uint64_t ops_sum() const noexcept {
     return sets + gets + deletes + touches + admin + malformed + shed +
@@ -184,6 +194,8 @@ class MemcachedServer {
     std::atomic<std::uint64_t> malformed ATOMIC_PUBLISHED(){0};
     std::atomic<std::uint64_t> shed ATOMIC_PUBLISHED(){0};
     std::atomic<std::uint64_t> expired_on_arrival ATOMIC_PUBLISHED(){0};
+    std::atomic<std::uint64_t> batches ATOMIC_PUBLISHED(){0};
+    std::atomic<std::uint64_t> batched_ops ATOMIC_PUBLISHED(){0};
   };
 
   /// An async-buffered request plus the instant the network thread received
@@ -199,10 +211,29 @@ class MemcachedServer {
     sim::TimePoint dequeued_at{};
   };
 
+  /// Outcome of one opcode dispatch (shared by the single-request path and
+  /// the vectorized batch path). The value bytes live in the caller-provided
+  /// buffer; `has_value` says whether they belong in the response.
+  struct OpResult {
+    StatusCode status = StatusCode::kInvalidArgument;
+    std::uint32_t flags = 0;
+    bool has_value = false;
+  };
+
   void network_main();
   void worker_main(std::size_t worker_index);
   void handle(const net::Message& request, WorkerMetrics& metrics,
               const RequestContext& ctx);
+  /// Decode + execute one operation against the store, bumping its per-op
+  /// counter (malformed ops land in `malformed` and flip op_cls to kOther).
+  OpResult execute_op(std::uint16_t opcode, std::span<const char> body,
+                      WorkerMetrics& metrics, StageBreakdown& stages,
+                      std::vector<char>& value, metrics::Op& op_cls);
+  /// Vectorized execution of a kOpBatch frame: per-sub-op admission-exact
+  /// accounting, one batched response (DESIGN.md §12).
+  void handle_batch(const net::Message& request,
+                    std::int64_t deadline_ns, std::span<const char> body,
+                    WorkerMetrics& metrics, const RequestContext& ctx);
   /// Admission check for one arriving request (async mode, admission on).
   /// Returns false after shedding it with a cheap kBusy response.
   bool admit(const net::Message& request);

@@ -271,7 +271,7 @@ bool HybridSlabManager::do_flush_batch(unsigned cls) {
       storage_->engine(scheme).write(handle->id, 0, staging);
   if (!ok(code)) {
     HYKV_ERROR("flush write failed: %.*s",
-               static_cast<int>(to_string(code).size()), to_string(code).data());
+               static_cast<int>(status_name(code).size()), status_name(code).data());
     handle->mark_failed();
   } else {
     handle->mark_ready();

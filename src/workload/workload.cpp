@@ -139,7 +139,7 @@ void preload(client::Client& client, const WorkloadConfig& config) {
     if (!ok(code)) {
       HYKV_WARN("preload: set(%llu) -> %.*s",
                 static_cast<unsigned long long>(i),
-                static_cast<int>(to_string(code).size()), to_string(code).data());
+                static_cast<int>(status_name(code).size()), status_name(code).data());
     }
   }
 }

@@ -116,7 +116,7 @@ TEST_F(ChaosTest, LossyFabricAllRequestsTerminate) {
   int total = 0;
   for (const auto& [code, count] : statuses) {
     EXPECT_TRUE(terminal_under_chaos(code))
-        << "unexpected status " << to_string(code);
+        << "unexpected status " << status_name(code);
     total += count;
   }
   EXPECT_EQ(total, kOps);  // every single op produced a verdict
@@ -190,7 +190,7 @@ TEST_F(ChaosTest, ServerDownWindowEjectsAndReadmits) {
   int successes_during_window = 0;
   for (int i = 0; i < 6; ++i) {
     const StatusCode code = client->set(victim_key, value);
-    EXPECT_TRUE(terminal_under_chaos(code)) << to_string(code);
+    EXPECT_TRUE(terminal_under_chaos(code)) << status_name(code);
     if (ok(code)) ++successes_during_window;
   }
   EXPECT_EQ(client->ring().dead_count(), 1u);
@@ -320,7 +320,7 @@ TEST_F(ChaosTest, FullStackChaosEveryRequestCompletes) {
   int successes = 0;
   for (const auto& [code, count] : statuses) {
     EXPECT_TRUE(terminal_under_chaos(code))
-        << "unexpected status " << to_string(code);
+        << "unexpected status " << status_name(code);
     total += count;
     if (ok(code) || code == StatusCode::kNotFound) successes += count;
   }
@@ -373,7 +373,7 @@ TEST_F(ChaosTest, ShardedStoreSurvivesFullStackChaos) {
   int total = 0;
   for (const auto& [code, count] : statuses) {
     EXPECT_TRUE(terminal_under_chaos(code))
-        << "unexpected status " << to_string(code);
+        << "unexpected status " << status_name(code);
     total += count;
   }
   EXPECT_EQ(total, kOps);
@@ -441,7 +441,7 @@ TEST_F(ChaosTest, RetryBudgetDampsRetryStorm) {
     for (int i = 0; i < kWindowOps; ++i) {
       const StatusCode code =
           client->set(make_key(static_cast<std::uint64_t>(i)), value);
-      EXPECT_TRUE(terminal_under_chaos(code)) << to_string(code);
+      EXPECT_TRUE(terminal_under_chaos(code)) << status_name(code);
       EXPECT_FALSE(ok(code));
     }
     const auto mid = client->counters();
@@ -454,7 +454,7 @@ TEST_F(ChaosTest, RetryBudgetDampsRetryStorm) {
     for (int i = 0; i < kRecoveryOps; ++i) {
       const StatusCode code =
           client->set(make_key(static_cast<std::uint64_t>(i)), value);
-      EXPECT_TRUE(terminal_under_chaos(code)) << to_string(code);
+      EXPECT_TRUE(terminal_under_chaos(code)) << status_name(code);
       if (ok(code)) ++result.recovery_ok;
       ++result.recovery_total;
     }
@@ -487,6 +487,72 @@ TEST_F(ChaosTest, RetryBudgetDampsRetryStorm) {
   // none of its steady-state health to the budget.
   EXPECT_GT(storm.recovery_ok, storm.recovery_total / 2);
   EXPECT_GT(damped.recovery_ok, damped.recovery_total / 2);
+}
+
+// ---------------------------------------------------------------------------
+// Doorbell batching under a lossy fabric (DESIGN.md §12). A dropped kOpBatch
+// frame (or its batched response) takes several ops down with one message --
+// the contract is that each affected op STILL terminates individually at its
+// own deadline, later rounds keep working, and nothing leaks. Batching
+// changes the blast radius of a drop, never the per-op semantics.
+TEST_F(ChaosTest, BatchedFramesUnderDropFaultsTimeOutPerOp) {
+  // Slightly slower clock so the TX engine's per-op costs let the queue
+  // build up and coalescing actually happens under test.
+  sim::set_time_scale(0.2);
+  TestBedConfig cfg;
+  cfg.design = Design::kRdmaMem;
+  cfg.num_servers = 2;
+  cfg.total_server_memory = 16 << 20;
+  cfg.fabric_faults.drop_rate = 0.05;
+  cfg.fabric_faults.seed = 0xBA7C4;
+  cfg.client_op_deadline = sim::ms(150);
+  cfg.client_max_retries = 2;
+  cfg.client_batch_max_ops = 8;
+  cfg.client_bounce_slot_bytes = 4096;
+  TestBed bed(cfg);
+  auto client = bed.make_client("chaos-batch");
+
+  const std::uint64_t kKeys = 64;
+  std::vector<std::string> keys;
+  keys.reserve(kKeys);
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    keys.push_back(make_key(i));
+    // Blocking seed sets ride the retry loop through the drops; any terminal
+    // status is acceptable (a dropped set just leaves a future miss).
+    const StatusCode code = client->set(keys.back(), make_value(i, 512));
+    EXPECT_TRUE(terminal_under_chaos(code)) << status_name(code);
+  }
+
+  // Several mget rounds: every key must reach a terminal per-op verdict each
+  // round, whatever frames the injector ate.
+  int values_seen = 0;
+  for (int round = 0; round < 4; ++round) {
+    const auto results = client->mget_status(keys);
+    ASSERT_EQ(results.size(), keys.size());
+    for (const auto& result : results) {
+      EXPECT_TRUE(terminal_under_chaos(result.status()))
+          << status_name(result.status());
+      if (result.ok()) ++values_seen;
+    }
+  }
+  EXPECT_GT(values_seen, 0);  // the cluster stayed useful
+
+  // Coalescing really happened, and the loss of whole frames leaked nothing:
+  // the pending map drained and the bounce pool is whole.
+  const auto cc = client->counters();
+  EXPECT_GE(cc.batches_sent, 1u);
+  EXPECT_GE(cc.batched_ops, 2u * cc.batches_sent);
+  EXPECT_EQ(client->pending_requests(), 0u);
+  EXPECT_EQ(client->free_bounce_slots(), cfg.client_bounce_slots);
+
+  // Server-side accounting stayed exact per sub-op on whatever arrived.
+  expect_server_counters_balance(bed);
+  std::uint64_t server_batches = 0;
+  for (std::size_t s = 0; s < bed.num_servers(); ++s) {
+    server_batches += bed.server(s).counters().batches;
+  }
+  // Frames can be dropped in flight but never invented.
+  EXPECT_LE(server_batches, cc.batches_sent);
 }
 
 }  // namespace

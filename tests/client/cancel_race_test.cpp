@@ -83,7 +83,7 @@ TEST_F(CancelRaceTest, WaitForVsLateBusyResponseNeverLeaks) {
       } else if (status == StatusCode::kTimedOut) {
         ++timed_out_seen;
       } else {
-        FAIL() << "unexpected status " << to_string(status);
+        FAIL() << "unexpected status " << status_name(status);
       }
     }
 

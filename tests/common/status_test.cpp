@@ -10,15 +10,18 @@
 namespace hykv {
 namespace {
 
-TEST(StatusTest, ToStringCoversAllCodes) {
+TEST(StatusTest, StatusNameCoversAllCodes) {
   for (const auto code :
        {StatusCode::kOk, StatusCode::kNotFound, StatusCode::kNotStored,
         StatusCode::kBufferTooSmall, StatusCode::kOutOfMemory,
         StatusCode::kServerError, StatusCode::kNetworkError,
         StatusCode::kTimedOut, StatusCode::kInvalidArgument,
-        StatusCode::kInProgress, StatusCode::kShutdown}) {
-    EXPECT_NE(to_string(code), "UNKNOWN");
-    EXPECT_FALSE(to_string(code).empty());
+        StatusCode::kInProgress, StatusCode::kShutdown, StatusCode::kServerDown,
+        StatusCode::kIoError, StatusCode::kBusy}) {
+    EXPECT_NE(status_name(code), "UNKNOWN");
+    EXPECT_FALSE(status_name(code).empty());
+    // to_string is the compatibility alias: always the same spelling.
+    EXPECT_EQ(to_string(code), status_name(code));
   }
 }
 

@@ -45,10 +45,40 @@ void decode_everything(std::span<const char> payload) {
     touch(cr->value);
   }
   (void)decode_counter_value(payload);
+  // Batch frames: every sub-view must stay inside `payload`, and the nested
+  // bodies are run back through the single-op decoders like the server does.
+  if (const auto batch = decode_batch(payload)) {
+    for (const auto& item : *batch) touch(item.payload);
+  }
+  if (const auto bresp = decode_batch_response(payload)) {
+    for (const auto& item : *bresp) touch(item.payload);
+  }
   // The deadline splitter is lenient by design (no header -> no deadline,
   // inner == payload) but its inner view must still stay inside `payload`.
   const auto env = split_deadline(payload);
   touch(env.inner);
+}
+
+// A representative well-formed kOpBatch frame for the corpus loops.
+std::vector<char> sample_batch_frame(std::span<const char> value) {
+  const auto set_body = encode_set({.key = "bk", .value = value, .flags = 1});
+  const auto get_body = encode_key_request("bk");
+  const BatchItem items[] = {
+      {.opcode = kOpSet, .wr_id = 11, .payload = set_body},
+      {.opcode = kOpGet, .wr_id = 12, .payload = get_body},
+  };
+  return encode_batch(items);
+}
+
+// A representative well-formed kOpBatchResponse frame.
+std::vector<char> sample_batch_response_frame(std::span<const char> value) {
+  const auto ok_body = encode_response(StatusCode::kOk, 0);
+  const auto val_body = encode_response(StatusCode::kOk, 3, value);
+  const BatchResponseItem items[] = {
+      {.wr_id = 11, .payload = ok_body},
+      {.wr_id = 12, .payload = val_body},
+  };
+  return encode_batch_response(items);
 }
 
 TEST(ProtocolFuzzTest, RandomBytesNeverCrash) {
@@ -77,6 +107,11 @@ TEST(ProtocolFuzzTest, TruncationsOfValidFramesAreRejectedOrSafe) {
       with_deadline(123456789, encode_key_request("deadline-key")),
       with_deadline(1, encode_set({.key = "dl", .value = value})),
       encode_response(StatusCode::kBusy, 0),
+      // Doorbell-batching frames: a coalesced request frame (bare and
+      // deadline-wrapped) and a batched response.
+      sample_batch_frame(value),
+      with_deadline(777, sample_batch_frame(value)),
+      sample_batch_response_frame(value),
   };
   for (const auto& frame : corpus) {
     for (std::size_t cut = 0; cut <= frame.size(); ++cut) {
@@ -133,6 +168,90 @@ TEST(ProtocolFuzzTest, BusyStatusByteRoundTrips) {
   ASSERT_TRUE(resp.has_value());
   EXPECT_EQ(resp->status, StatusCode::kBusy);
   EXPECT_TRUE(resp->value.empty());
+}
+
+TEST(ProtocolFuzzTest, BatchFrameRoundTrips) {
+  const auto value = make_value(3, 80);
+  const auto frame = sample_batch_frame(value);
+  const auto items = decode_batch(frame);
+  ASSERT_TRUE(items.has_value());
+  ASSERT_EQ(items->size(), 2u);
+  EXPECT_EQ((*items)[0].opcode, kOpSet);
+  EXPECT_EQ((*items)[0].wr_id, 11u);
+  EXPECT_EQ((*items)[1].opcode, kOpGet);
+  EXPECT_EQ((*items)[1].wr_id, 12u);
+  // The nested bodies decode with the single-op decoders, unchanged.
+  const auto set = decode_set((*items)[0].payload);
+  ASSERT_TRUE(set.has_value());
+  EXPECT_EQ(set->key, "bk");
+  const auto get = decode_key_request((*items)[1].payload);
+  ASSERT_TRUE(get.has_value());
+  EXPECT_EQ(get->key, "bk");
+
+  const auto resp_frame = sample_batch_response_frame(value);
+  const auto resps = decode_batch_response(resp_frame);
+  ASSERT_TRUE(resps.has_value());
+  ASSERT_EQ(resps->size(), 2u);
+  EXPECT_EQ((*resps)[0].wr_id, 11u);
+  EXPECT_EQ((*resps)[1].wr_id, 12u);
+  const auto second = decode_response((*resps)[1].payload);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->status, StatusCode::kOk);
+  EXPECT_EQ(second->flags, 3u);
+  EXPECT_EQ(second->value.size(), value.size());
+}
+
+TEST(ProtocolFuzzTest, ZeroOpBatchFramesRejected) {
+  // A frame claiming zero sub-ops is structurally impossible (the TX engine
+  // never wraps an empty run) -- malformed, not an empty success.
+  const std::vector<char> zero(4, 0);
+  EXPECT_FALSE(decode_batch(zero).has_value());
+  EXPECT_FALSE(decode_batch_response(zero).has_value());
+}
+
+TEST(ProtocolFuzzTest, OversizedBatchCountRejectedWithoutAllocating) {
+  // A hostile count larger than the remaining bytes could possibly hold must
+  // be rejected before any reserve() -- 0xFFFFFFFF items must not allocate.
+  std::vector<char> evil(12, 0);
+  const std::uint32_t huge = 0xFFFFFFFFu;
+  std::memcpy(evil.data(), &huge, 4);
+  EXPECT_FALSE(decode_batch(evil).has_value());
+  EXPECT_FALSE(decode_batch_response(evil).has_value());
+}
+
+TEST(ProtocolFuzzTest, TruncatedAndPaddedBatchFramesRejected) {
+  const auto value = make_value(4, 48);
+  const auto frame = sample_batch_frame(value);
+  // Every proper prefix is malformed (the count promises more than arrives).
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    EXPECT_FALSE(
+        decode_batch(std::span<const char>(frame.data(), cut)).has_value())
+        << cut;
+  }
+  // Trailing garbage is malformed too: item lengths must consume the frame.
+  auto padded = frame;
+  padded.push_back('x');
+  EXPECT_FALSE(decode_batch(padded).has_value());
+
+  const auto resp = sample_batch_response_frame(value);
+  for (std::size_t cut = 0; cut < resp.size(); ++cut) {
+    EXPECT_FALSE(
+        decode_batch_response(std::span<const char>(resp.data(), cut))
+            .has_value())
+        << cut;
+  }
+}
+
+TEST(ProtocolFuzzTest, BatchFrameSingleByteMutationsAreSafe) {
+  Rng rng(0xBA7C4);
+  const auto value = make_value(5, 64);
+  const auto frame = sample_batch_frame(value);
+  for (int round = 0; round < 3000; ++round) {
+    auto mutated = frame;
+    mutated[rng.next_below(mutated.size())] =
+        static_cast<char>(rng.next() & 0xFF);
+    decode_everything(mutated);
+  }
 }
 
 TEST(ProtocolFuzzTest, LengthFieldOverflowRejected) {

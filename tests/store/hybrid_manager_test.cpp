@@ -51,7 +51,7 @@ class HybridManagerTest : public ::testing::Test {
     const StatusCode code = m.get(make_key(i), out, flags);
     if (!ok(code)) {
       return ::testing::AssertionFailure()
-             << "get(" << i << ") -> " << to_string(code);
+             << "get(" << i << ") -> " << status_name(code);
     }
     if (out != make_value(i, size)) {
       return ::testing::AssertionFailure() << "value mismatch for " << i;
